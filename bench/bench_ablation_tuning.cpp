@@ -1,0 +1,93 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   * the merge recursion's base-case size (gather-sort-scatter cutoff):
+//     larger bases cut recursion/rank-selection overhead but pay
+//     O(k * diameter) base energy and O(1)-but-larger depth constants;
+//   * the selection sampling constant c (Lemma VI.1's failure probability
+//     is 2 n^{-c/6}): larger c means bigger samples per iteration but
+//     fewer/safer iterations.
+#include "bench_common.hpp"
+
+#include "select/select.hpp"
+#include "sort/mergesort2d.hpp"
+#include "spatial/rng.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace scm;
+
+void BM_MergeBaseSize(benchmark::State& state) {
+  const index_t base = state.range(0);
+  const index_t n = 4096;
+  const auto v = random_doubles(71, static_cast<size_t>(n));
+  for (auto _ : state) {
+    Machine m;
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    benchmark::DoNotOptimize(
+        mergesort2d(m, a, std::less<double>{}, MergeConfig{base}));
+    bench::report(state, "mergesort/base-size", static_cast<double>(base),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_MergeBaseSize)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SelectSamplingConstant(benchmark::State& state) {
+  const double c = static_cast<double>(state.range(0));
+  const index_t n = 65536;
+  const auto v = random_doubles(72, static_cast<size_t>(n));
+  index_t iterations = 0;
+  for (auto _ : state) {
+    Machine m;
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    const auto r = select_rank(m, a, n / 2, 73, std::less<double>{},
+                               SelectConfig{c});
+    benchmark::DoNotOptimize(r.value);
+    iterations = r.iterations;
+    bench::report(state, "select/sampling-c", c, m.metrics());
+  }
+  state.counters["iterations"] = static_cast<double>(iterations);
+}
+BENCHMARK(BM_SelectSamplingConstant)
+    ->Arg(3)
+    ->Arg(6)
+    ->Arg(12)
+    ->Arg(24)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  scm::bench::print_series(
+      "Ablation: mergesort base-case size at n=4096 (x axis = base size)",
+      "mergesort/base-size", {});
+  scm::bench::print_series(
+      "Ablation: selection sampling constant c at n=65536 (x axis = c)",
+      "select/sampling-c", {});
+  std::printf(
+      "\n(reading: at these sizes larger bases monotonically cut energy "
+      "and depth, because the\n gather-sort-scatter base is "
+      "Theta(k^{3/2})-energy with tiny constants while the recursion\n "
+      "pays rank-selection overhead per level — but a base of k gathers k "
+      "words into ONE\n processor, so the O(1)-memory model bounds the "
+      "base to a constant; the recursion exists\n to keep memory constant, "
+      "not to save energy. For c: fewer, safer iterations at larger\n "
+      "per-iteration samples; energy stays O(n) and is minimized near the "
+      "paper's c = 3..6.)\n");
+  return 0;
+}

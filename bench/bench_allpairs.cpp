@@ -1,0 +1,47 @@
+// Lemma V.5: All-Pairs Sort costs O(n^{5/2}) energy, O(log n) depth, and
+// O(n) distance — the exploded-grid auxiliary sorter whose low depth the
+// merge machinery buys with super-quadratic energy on sqrt(n)-sized
+// samples.
+#include "bench_common.hpp"
+
+#include "sort/allpairs.hpp"
+#include "spatial/rng.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace scm;
+
+void BM_AllPairs(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto v = random_doubles(23, static_cast<size_t>(n));
+  for (auto _ : state) {
+    Machine m;
+    auto a = GridArray<double>::from_values_square({0, 0}, v);
+    benchmark::DoNotOptimize(allpairs_sort(m, a, std::less<double>{}));
+    bench::report(state, "allpairs", static_cast<double>(n), m.metrics());
+  }
+}
+BENCHMARK(BM_AllPairs)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  scm::bench::print_series(
+      "All-Pairs Sort (Lemma V.5)", "allpairs",
+      {{"energy", false, 2.5, 0.2, "O(n^{5/2})"},
+       {"depth", true, 1.0, 0.35, "O(log n)"},
+       {"distance", false, 1.0, 0.2, "O(n)"}});
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Lemma IV.1 / Corollary IV.2 and the Section II-A comparison: the
+// quadrant broadcast/reduce cost O(hw + h log h) energy with O(log n)
+// depth, while the binomial-tree collectives of prior work pay
+// Theta(n log n) energy on square subgrids — a Theta(log n) separation.
+#include "bench_common.hpp"
+
+#include "collectives/baselines.hpp"
+#include "collectives/broadcast.hpp"
+#include "collectives/reduce.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace scm;
+
+void BM_BroadcastSquare(benchmark::State& state) {
+  const index_t side = state.range(0);
+  for (auto _ : state) {
+    Machine m;
+    benchmark::DoNotOptimize(
+        broadcast(m, Rect{0, 0, side, side}, Cell<int>{1, Clock{}}));
+    bench::report(state, "broadcast", static_cast<double>(side * side),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_BroadcastSquare)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BinomialBroadcastSquare(benchmark::State& state) {
+  const index_t side = state.range(0);
+  for (auto _ : state) {
+    Machine m;
+    benchmark::DoNotOptimize(
+        binomial_broadcast(m, Rect{0, 0, side, side}, Cell<int>{1, Clock{}}));
+    bench::report(state, "binomial_broadcast",
+                  static_cast<double>(side * side), m.metrics());
+  }
+}
+BENCHMARK(BM_BinomialBroadcastSquare)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReduceSquare(benchmark::State& state) {
+  const index_t side = state.range(0);
+  for (auto _ : state) {
+    Machine m;
+    GridArray<long long> a(Rect{0, 0, side, side}, Layout::kRowMajor,
+                           side * side);
+    for (index_t i = 0; i < a.size(); ++i) a[i].value = i;
+    benchmark::DoNotOptimize(reduce(m, a, Plus{}));
+    bench::report(state, "reduce", static_cast<double>(side * side),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_ReduceSquare)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BroadcastSkewed(benchmark::State& state) {
+  // h = 16 w subgrids: the h log h term of Lemma IV.1 becomes visible.
+  const index_t w = state.range(0);
+  const index_t h = 16 * w;
+  for (auto _ : state) {
+    Machine m;
+    benchmark::DoNotOptimize(
+        broadcast(m, Rect{0, 0, h, w}, Cell<int>{1, Clock{}}));
+    bench::report(state, "broadcast/skewed-16:1",
+                  static_cast<double>(h * w), m.metrics());
+  }
+}
+BENCHMARK(BM_BroadcastSkewed)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  scm::bench::print_series(
+      "Quadrant broadcast on square subgrids (Lemma IV.1)", "broadcast",
+      {{"energy", false, 1.0, 0.1, "Theta(n)"},
+       {"depth", true, 1.0, 0.3, "O(log n)"},
+       {"distance", false, 0.5, 0.15, "O(sqrt n)"}});
+  scm::bench::print_series(
+      "Quadrant reduce on square subgrids (Corollary IV.2)", "reduce",
+      {{"energy", false, 1.0, 0.1, "Theta(n)"},
+       {"depth", true, 1.0, 0.3, "O(log n)"}});
+  scm::bench::print_series(
+      "Broadcast on 16:1 skewed subgrids (Lemma IV.1, hw + h log h)",
+      "broadcast/skewed-16:1",
+      {{"energy", false, 1.0, 0.2, "O(hw + h log h)"},
+       {"depth", true, 1.0, 0.4, "O(log n)"}});
+  scm::bench::print_series(
+      "Binomial-tree broadcast baseline (Section II-A)",
+      "binomial_broadcast",
+      {{"energy", false, 1.0, 0.25, "Theta(n log n)"}});
+  scm::bench::print_ratio(
+      "Energy ratio binomial / quadrant broadcast (paper: grows ~ log n)",
+      "binomial_broadcast", "broadcast", "energy");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Figure 2 discussion + Lemmas V.3/V.4 vs Theorem V.8: Bitonic Sort on the
+// row-major 2-D grid layout pays Theta(n^{3/2} log n) energy and
+// Theta(sqrt(n) log n) distance — a log factor worse than the 2-D
+// Mergesort — while winning on depth (Theta(log^2 n) vs O(log^3 n)).
+//
+// This bench runs both sorters on identical inputs and prints the ratio
+// series: who wins on each metric, by what factor, and how the factor
+// trends with n (the energy ratio must grow ~ log n; the depth ratio must
+// favour bitonic).
+#include "bench_common.hpp"
+
+#include "sort/bitonic.hpp"
+#include "sort/mergesort2d.hpp"
+#include "spatial/rng.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace scm;
+
+void BM_Bitonic(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto v = random_doubles(17, static_cast<size_t>(n));
+  for (auto _ : state) {
+    Machine m;
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    bitonic_sort(m, a, std::less<double>{});
+    benchmark::DoNotOptimize(a);
+    bench::report(state, "bitonic", static_cast<double>(n), m.metrics());
+  }
+}
+BENCHMARK(BM_Bitonic)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BitonicSkewed(benchmark::State& state) {
+  // Lemma V.4 on h x w subgrids with h = 16 w: energy
+  // Theta(h^2 w + w^2 h log h) — the shape-dependence of the network's
+  // cost on the grid mapping.
+  const index_t w = state.range(0);
+  const index_t h = 16 * w;
+  const index_t n = h * w;
+  const auto v = random_doubles(19, static_cast<size_t>(n));
+  for (auto _ : state) {
+    Machine m;
+    GridArray<double> a(Rect{0, 0, h, w}, Layout::kRowMajor, n);
+    for (index_t i = 0; i < n; ++i) a[i].value = v[static_cast<size_t>(i)];
+    bitonic_sort(m, a, std::less<double>{});
+    benchmark::DoNotOptimize(a);
+    bench::report(state, "bitonic/skewed-16:1", static_cast<double>(n),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_BitonicSkewed)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BitonicMerge(benchmark::State& state) {
+  // Lemma V.3 in isolation: the merge network on a square subgrid is
+  // Theta(n^{3/2}) energy (h^2 w + w^2 h with h = w = sqrt n) and
+  // Theta(log n) depth — Fig. 2's 2-D layout.
+  const index_t n = state.range(0);
+  auto v = random_doubles(18, static_cast<size_t>(n));
+  std::sort(v.begin(), v.begin() + n / 2);
+  std::sort(v.begin() + n / 2, v.end(), std::greater<double>{});
+  for (auto _ : state) {
+    Machine m;
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    bitonic_merge(m, a, std::less<double>{});
+    benchmark::DoNotOptimize(a);
+    bench::report(state, "bitonic_merge", static_cast<double>(n),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_BitonicMerge)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Mergesort(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto v = random_doubles(17, static_cast<size_t>(n));
+  for (auto _ : state) {
+    Machine m;
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    benchmark::DoNotOptimize(mergesort2d(m, a));
+    bench::report(state, "mergesort", static_cast<double>(n), m.metrics());
+  }
+}
+BENCHMARK(BM_Mergesort)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  scm::bench::print_series(
+      "Bitonic Sort, row-major 2-D layout (Lemma V.4)", "bitonic",
+      {{"energy", false, 1.5, 0.2, "Theta(n^1.5 log n)"},
+       {"depth", true, 2.0, 0.3, "Theta(log^2 n)"}});
+  scm::bench::print_series(
+      "Bitonic Sort on 16:1 skewed subgrids (Lemma V.4, h^2 w + w^2 h "
+      "log h)",
+      "bitonic/skewed-16:1",
+      {{"energy", false, 1.5, 0.25, "dominated by h^2 w ~ n^1.5 here"}});
+  scm::bench::print_series(
+      "Bitonic Merge network, square subgrid (Lemma V.3)", "bitonic_merge",
+      {{"energy", false, 1.5, 0.1, "Theta(h^2 w + w^2 h) = Theta(n^1.5)"},
+       {"depth", true, 1.0, 0.3, "Theta(log n)"},
+       {"distance", false, 0.5, 0.15, "Theta(w + h)"}});
+  scm::bench::print_series(
+      "2-D Mergesort (Theorem V.8)", "mergesort",
+      {{"energy", false, 1.5, 0.15, "Theta(n^1.5)"},
+       {"depth", true, 3.0, 0.8, "O(log^3 n)"}});
+  scm::bench::print_ratio(
+      "Energy ratio bitonic / mergesort (paper: grows ~ log n; bitonic is "
+      "energy-suboptimal)",
+      "bitonic", "mergesort", "energy");
+  scm::bench::print_ratio(
+      "Depth ratio bitonic / mergesort (paper: bitonic wins depth, "
+      "log^2 vs log^3)",
+      "bitonic", "mergesort", "depth");
+  scm::bench::print_ratio(
+      "Distance ratio bitonic / mergesort (paper: bitonic is "
+      "distance-suboptimal by ~ log n)",
+      "bitonic", "mergesort", "distance");
+  return 0;
+}

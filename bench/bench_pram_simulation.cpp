@@ -1,0 +1,123 @@
+// Lemmas VII.1 and VII.2: PRAM simulation costs. The EREW simulation pays
+// O(p (sqrt p + sqrt m)) energy and O(1) message depth per step; the CRCW
+// simulation resolves concurrency by sorting and pays an O(log^3 p) depth
+// factor per step.
+#include "bench_common.hpp"
+
+#include "pram/crcw.hpp"
+#include "pram/erew.hpp"
+#include "pram/programs.hpp"
+#include "spatial/rng.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace scm;
+
+pram::Word add(pram::Word a, pram::Word b) { return a + b; }
+
+void BM_ErewTreeReduce(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto v = random_doubles(51, static_cast<size_t>(n));
+  pram::TreeReduceProgram prog(n, add);
+  for (auto _ : state) {
+    Machine m;
+    benchmark::DoNotOptimize(pram::simulate_erew(m, prog, v));
+    bench::report(state, "erew/tree-reduce", static_cast<double>(n),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_ErewTreeReduce)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ErewScan(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto v = random_doubles(52, static_cast<size_t>(n));
+  pram::HillisSteeleScanProgram prog(n);
+  for (auto _ : state) {
+    Machine m;
+    benchmark::DoNotOptimize(pram::simulate_erew(m, prog, v));
+    bench::report(state, "erew/hillis-steele", static_cast<double>(n),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_ErewScan)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CrcwBroadcastRead(benchmark::State& state) {
+  const index_t p = state.range(0);
+  pram::BroadcastReadProgram prog(p);
+  std::vector<pram::Word> mem(static_cast<size_t>(p + 1), 1.0);
+  for (auto _ : state) {
+    Machine m;
+    benchmark::DoNotOptimize(pram::simulate_crcw(m, prog, mem));
+    bench::report(state, "crcw/broadcast-read", static_cast<double>(p),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_CrcwBroadcastRead)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CrcwScan(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto v = random_doubles(53, static_cast<size_t>(n));
+  pram::HillisSteeleScanProgram prog(n);
+  for (auto _ : state) {
+    Machine m;
+    benchmark::DoNotOptimize(pram::simulate_crcw(m, prog, v));
+    bench::report(state, "crcw/hillis-steele", static_cast<double>(n),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_CrcwScan)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  scm::bench::print_series(
+      "EREW simulation, tree reduce (Lemma VII.1): p = n/2, T = 2 log n",
+      "erew/tree-reduce",
+      {{"energy", false, 1.5, 0.25, "O(p sqrt(p) T) ~ n^{1.5}"}});
+  scm::bench::print_series(
+      "EREW simulation, Hillis-Steele scan: p = n, T = log n + 1",
+      "erew/hillis-steele",
+      {{"energy", false, 1.5, 0.25, "O(p sqrt(p) T) ~ n^{1.5} log n"}});
+  scm::bench::print_series(
+      "CRCW simulation, one concurrent-read step (Lemma VII.2)",
+      "crcw/broadcast-read",
+      {{"energy", false, 1.5, 0.25, "O(p^{3/2})"},
+       {"depth", true, 3.0, 0.8, "O(log^3 p)"}});
+  scm::bench::print_series(
+      "CRCW simulation, Hillis-Steele scan (depth O(T log^3 p))",
+      "crcw/hillis-steele",
+      {{"depth", true, 4.0, 1.0, "O(log^4 n)"}});
+  scm::bench::print_ratio(
+      "Depth ratio CRCW / EREW on the same scan program (the sorting "
+      "overhead of concurrency resolution)",
+      "crcw/hillis-steele", "erew/hillis-steele", "depth");
+  return 0;
+}

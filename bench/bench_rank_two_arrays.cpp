@@ -1,0 +1,92 @@
+// Lemma V.6: rank selection in two sorted arrays costs O(n^{5/4}) energy,
+// O(log n) depth, and O(sqrt n) distance — dominated by the All-Pairs
+// Sort of the sqrt(n)-sized sample.
+#include "bench_common.hpp"
+
+#include "sort/rank_select_sorted.hpp"
+#include "spatial/rng.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+namespace {
+
+using namespace scm;
+
+struct Input {
+  Rect parent;
+  GridArray<double> a;
+  GridArray<double> b;
+};
+
+Input make_input(index_t half) {
+  auto va = random_doubles(41, static_cast<size_t>(half));
+  auto vb = random_doubles(42, static_cast<size_t>(half));
+  std::sort(va.begin(), va.end());
+  std::sort(vb.begin(), vb.end());
+  const Rect parent = square_at({0, 0}, square_side_for(2 * half));
+  GridArray<double> a(parent, Layout::kZOrder, half, 0);
+  GridArray<double> b(parent, Layout::kZOrder, half, half);
+  for (index_t i = 0; i < half; ++i) {
+    a[i].value = va[static_cast<size_t>(i)];
+    b[i].value = vb[static_cast<size_t>(i)];
+  }
+  return Input{parent, std::move(a), std::move(b)};
+}
+
+void BM_RankTwoSorted(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const Input in = make_input(n / 2);
+  for (auto _ : state) {
+    Machine m;
+    benchmark::DoNotOptimize(rank_select_two_sorted(
+        m, in.a, in.b, n / 2, in.parent.origin(), std::less<double>{}));
+    bench::report(state, "rank2sorted", static_cast<double>(n), m.metrics());
+  }
+}
+BENCHMARK(BM_RankTwoSorted)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RankTwoSortedKSweep(benchmark::State& state) {
+  const index_t n = 16384;
+  const Input in = make_input(n / 2);
+  const index_t k = state.range(0);
+  for (auto _ : state) {
+    Machine m;
+    benchmark::DoNotOptimize(rank_select_two_sorted(
+        m, in.a, in.b, k, in.parent.origin(), std::less<double>{}));
+    bench::report(state, "rank2sorted/k-sweep", static_cast<double>(k),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_RankTwoSortedKSweep)
+    ->Arg(1)
+    ->Arg(4096)
+    ->Arg(8192)
+    ->Arg(16383)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  scm::bench::print_series(
+      "Rank selection in two sorted arrays (Lemma V.6)", "rank2sorted",
+      {{"energy", false, 1.25, 0.2, "O(n^{5/4})"},
+       {"depth", true, 1.0, 0.5, "O(log n)"},
+       {"distance", false, 0.5, 0.2, "O(sqrt n)"}});
+  scm::bench::print_series("k sensitivity at n=16384",
+                           "rank2sorted/k-sweep", {});
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Section IV-C scan design-space ablation: the naive 1-D binary-tree scan
+// pays Omega(n log n) energy, the sequential scan pays Omega(n) depth, and
+// the paper's 2-D Z-order scan achieves Theta(n) energy AND O(log n)
+// depth simultaneously.
+#include "bench_common.hpp"
+
+#include "collectives/baselines.hpp"
+#include "collectives/scan.hpp"
+#include "spatial/rng.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace scm;
+
+std::vector<long long> input(index_t n) {
+  const auto vals = random_ints(3, static_cast<size_t>(n), -100, 100);
+  return {vals.begin(), vals.end()};
+}
+
+void BM_ZOrderScan(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto v = input(n);
+  for (auto _ : state) {
+    Machine m;
+    auto a = GridArray<long long>::from_values_square({0, 0}, v);
+    benchmark::DoNotOptimize(scan(m, a, Plus{}));
+    bench::report(state, "scan2d", static_cast<double>(n), m.metrics());
+  }
+}
+BENCHMARK(BM_ZOrderScan)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TreeScan1D(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto v = input(n);
+  for (auto _ : state) {
+    Machine m;
+    auto a = GridArray<long long>::from_values_square({0, 0}, v,
+                                                      Layout::kRowMajor);
+    benchmark::DoNotOptimize(tree_scan_1d(m, a, Plus{}));
+    bench::report(state, "tree_scan_1d", static_cast<double>(n),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_TreeScan1D)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TreeScanZOrder(benchmark::State& state) {
+  // Ablation: the same binary tree on a Z-order layout — linear energy
+  // again, isolating the layout as the source of the energy win.
+  const index_t n = state.range(0);
+  const auto v = input(n);
+  for (auto _ : state) {
+    Machine m;
+    auto a = GridArray<long long>::from_values_square({0, 0}, v,
+                                                      Layout::kZOrder);
+    benchmark::DoNotOptimize(tree_scan_1d(m, a, Plus{}));
+    bench::report(state, "tree_scan_zorder", static_cast<double>(n),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_TreeScanZOrder)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SequentialScan(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto v = input(n);
+  for (auto _ : state) {
+    Machine m;
+    auto a = GridArray<long long>::from_values_square({0, 0}, v);
+    benchmark::DoNotOptimize(sequential_scan(m, a, Plus{}));
+    bench::report(state, "sequential_scan", static_cast<double>(n),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_SequentialScan)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  scm::bench::print_series(
+      "2-D Z-order scan (Lemma IV.3): optimal on both axes", "scan2d",
+      {{"energy", false, 1.0, 0.1, "Theta(n)"},
+       {"depth", true, 1.0, 0.25, "O(log n)"}});
+  scm::bench::print_series(
+      "1-D binary-tree scan baseline: low depth, log-factor energy",
+      "tree_scan_1d",
+      {{"energy", false, 1.0, 0.25, "Theta(n log n)"},
+       {"depth", true, 1.0, 0.4, "O(log n)"}});
+  scm::bench::print_series(
+      "Ablation: binary tree on a Z-order layout (layout, not arity, "
+      "drives the energy)",
+      "tree_scan_zorder",
+      {{"energy", false, 1.0, 0.1, "Theta(n)"},
+       {"depth", true, 1.0, 0.4, "O(log n)"}});
+  scm::bench::print_series(
+      "Sequential scan baseline: optimal energy, linear depth",
+      "sequential_scan",
+      {{"energy", false, 1.0, 0.05, "Theta(n)"},
+       {"depth", false, 1.0, 0.05, "Theta(n)"}});
+  scm::bench::print_ratio(
+      "Energy ratio tree-scan / 2-D scan (paper: grows ~ log n)",
+      "tree_scan_1d", "scan2d", "energy");
+  scm::bench::print_ratio(
+      "Depth ratio sequential / 2-D scan (paper: Theta(n / log n))",
+      "sequential_scan", "scan2d", "depth");
+  return 0;
+}

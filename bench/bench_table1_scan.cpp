@@ -1,0 +1,79 @@
+// Table I, row "Parallel Scan" (Section IV, Lemma IV.3):
+//   energy Theta(n), depth O(log n), distance Theta(sqrt n).
+//
+// Sweeps the energy-optimal Z-order scan over power-of-four input sizes
+// and fits the measured growth shapes against the claims.
+#include "bench_common.hpp"
+
+#include "collectives/scan.hpp"
+#include "spatial/rng.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace scm;
+
+void BM_Scan(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto vals = random_ints(1, static_cast<size_t>(n), -100, 100);
+  const std::vector<long long> v(vals.begin(), vals.end());
+  for (auto _ : state) {
+    Machine m;
+    auto a = GridArray<long long>::from_values_square({0, 0}, v);
+    benchmark::DoNotOptimize(scan(m, a, Plus{}));
+    bench::report(state, "scan", static_cast<double>(n), m.metrics());
+  }
+}
+BENCHMARK(BM_Scan)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536)
+    ->Arg(262144)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SegmentedScan(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto vals = random_ints(2, static_cast<size_t>(n), -100, 100);
+  std::vector<Seg<long long>> sv;
+  std::mt19937_64 rng(7);
+  for (size_t i = 0; i < vals.size(); ++i) {
+    sv.push_back({vals[i], i == 0 || rng() % 16 == 0});
+  }
+  for (auto _ : state) {
+    Machine m;
+    auto a = GridArray<Seg<long long>>::from_values_square({0, 0}, sv);
+    benchmark::DoNotOptimize(segmented_scan(m, a, Plus{}));
+    bench::report(state, "segmented_scan", static_cast<double>(n),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_SegmentedScan)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Arg(262144)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  scm::bench::print_series(
+      "Table I / Parallel Scan (Lemma IV.3)", "scan",
+      {{"energy", false, 1.0, 0.1, "Theta(n)"},
+       {"depth", true, 1.0, 0.25, "O(log n)"},
+       {"distance", false, 0.5, 0.15, "Theta(sqrt n)"}});
+  scm::bench::print_series(
+      "Segmented scan (same algorithm, segmented operator)",
+      "segmented_scan",
+      {{"energy", false, 1.0, 0.1, "Theta(n)"},
+       {"depth", true, 1.0, 0.25, "O(log n)"}});
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Table I, row "Rank Selection" (Section VI, Theorem VI.3):
+//   energy Theta(n), depth O(log^2 n), distance Theta(sqrt n), w.h.p.,
+//   with O(1) sampling iterations.
+//
+// Sweeps the randomized selection over sizes, ranks, and seeds; reports
+// iteration counts and fallback frequency alongside the cost shapes.
+#include "bench_common.hpp"
+
+#include "select/select.hpp"
+#include "spatial/rng.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace scm;
+
+index_t g_max_iterations = 0;
+index_t g_fallbacks = 0;
+index_t g_runs = 0;
+
+void BM_SelectMedian(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto v = random_doubles(5, static_cast<size_t>(n));
+  for (auto _ : state) {
+    Machine m;
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    const auto r = select_rank(m, a, (n + 1) / 2, 42);
+    benchmark::DoNotOptimize(r.value);
+    g_max_iterations = std::max(g_max_iterations, r.iterations);
+    g_fallbacks += r.fell_back ? 1 : 0;
+    ++g_runs;
+    state.counters["iterations"] = static_cast<double>(r.iterations);
+    bench::report(state, "select", static_cast<double>(n), m.metrics());
+  }
+}
+BENCHMARK(BM_SelectMedian)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536)
+    ->Arg(262144)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SelectRankSweep(benchmark::State& state) {
+  const index_t n = 16384;
+  const index_t k = state.range(0);
+  const auto v = random_doubles(6, static_cast<size_t>(n));
+  for (auto _ : state) {
+    Machine m;
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    const auto r = select_rank(m, a, k, 43 + k);
+    benchmark::DoNotOptimize(r.value);
+    g_max_iterations = std::max(g_max_iterations, r.iterations);
+    g_fallbacks += r.fell_back ? 1 : 0;
+    ++g_runs;
+    bench::report(state, "select/rank-sweep", static_cast<double>(k),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_SelectRankSweep)
+    ->Arg(1)
+    ->Arg(4096)
+    ->Arg(8192)
+    ->Arg(12288)
+    ->Arg(16384)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  scm::bench::print_series(
+      "Table I / Rank Selection (Theorem VI.3), median", "select",
+      {{"energy", false, 1.0, 0.15, "Theta(n) w.h.p."},
+       {"depth", true, 2.0, 0.5, "O(log^2 n)"},
+       {"distance", false, 0.5, 0.2, "Theta(sqrt n)"}});
+  scm::bench::print_series(
+      "Rank sensitivity at n=16384 (k on the x axis)", "select/rank-sweep",
+      {});
+  std::printf(
+      "\nsampling iterations: max %lld over %lld runs, fallbacks %lld "
+      "(paper: O(1) iterations, fallback probability <= 2 n^{-c/6})\n",
+      static_cast<long long>(g_max_iterations),
+      static_cast<long long>(g_runs), static_cast<long long>(g_fallbacks));
+  return 0;
+}

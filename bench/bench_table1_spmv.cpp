@@ -1,0 +1,91 @@
+// Table I, row "SpMV" (Section VIII, Theorem VIII.2):
+//   energy Theta(m^{3/2}), depth O(log^3 n), distance Theta(sqrt m),
+//   for matrices with m = Theta(n) non-zeros.
+//
+// Sweeps the direct sort-and-scan SpMV over sizes and matrix families.
+#include "bench_common.hpp"
+
+#include "spmv/generators.hpp"
+#include "spmv/spmv.hpp"
+#include "spatial/rng.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace scm;
+
+void BM_SpmvUniform(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const CooMatrix a = random_uniform_matrix(n, 2 * n, 31);
+  const auto x = random_doubles(32, static_cast<size_t>(n));
+  for (auto _ : state) {
+    Machine m;
+    benchmark::DoNotOptimize(spmv(m, a, x));
+    bench::report(state, "spmv", static_cast<double>(a.nnz()), m.metrics());
+  }
+}
+BENCHMARK(BM_SpmvUniform)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Arg(8192)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SpmvFamily(benchmark::State& state) {
+  const index_t n = 1024;
+  CooMatrix a(1, 1);
+  const char* name = "";
+  switch (state.range(0)) {
+    case 0:
+      a = random_uniform_matrix(n, 2 * n, 33);
+      name = "spmv/uniform";
+      break;
+    case 1:
+      a = banded_matrix(n, 1, 34);
+      name = "spmv/banded";
+      break;
+    case 2:
+      a = power_law_matrix(n, 64, 1.0, 35);
+      name = "spmv/power-law";
+      break;
+    default:
+      a = diagonal_matrix(random_doubles(36, static_cast<size_t>(n)));
+      name = "spmv/diagonal";
+      break;
+  }
+  const auto x = random_doubles(37, static_cast<size_t>(n));
+  for (auto _ : state) {
+    Machine m;
+    benchmark::DoNotOptimize(spmv(m, a, x));
+    bench::report(state, name, static_cast<double>(a.nnz()), m.metrics());
+  }
+}
+BENCHMARK(BM_SpmvFamily)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  scm::bench::print_series(
+      "Table I / SpMV (Theorem VIII.2), m = 2n uniform", "spmv",
+      {{"energy", false, 1.5, 0.15, "Theta(m^1.5)"},
+       {"depth", true, 3.0, 0.7, "O(log^3 n)"},
+       {"distance", false, 0.5, 0.25, "Theta(sqrt m)"}});
+  for (const char* family :
+       {"spmv/uniform", "spmv/banded", "spmv/power-law", "spmv/diagonal"}) {
+    scm::bench::print_series(std::string("matrix family: ") + family, family,
+                             {});
+  }
+  return 0;
+}

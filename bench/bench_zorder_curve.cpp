@@ -1,0 +1,78 @@
+// Observation 1 (Section III): sending one message along each edge of the
+// Z-order traversal of a sqrt(n) x sqrt(n) subgrid costs O(n) energy —
+// the locality fact underlying the scan, the merge recursion, and the
+// Z-order processor indexing throughout the paper.
+#include "bench_common.hpp"
+
+#include "spatial/machine.hpp"
+#include "spatial/zorder.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace scm;
+
+void BM_ZOrderWalk(benchmark::State& state) {
+  const index_t side = state.range(0);
+  for (auto _ : state) {
+    Machine m;
+    const Rect r{0, 0, side, side};
+    Clock c{};
+    for (index_t i = 1; i < r.size(); ++i) {
+      c = m.send(zorder_coord(r, i - 1), zorder_coord(r, i), c);
+    }
+    benchmark::DoNotOptimize(c);
+    bench::report(state, "zorder-walk", static_cast<double>(side * side),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_ZOrderWalk)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RowMajorWalk(benchmark::State& state) {
+  // Comparison walk in row-major order (also linear, with a smaller
+  // constant, but without the recursive-block locality the algorithms
+  // exploit).
+  const index_t side = state.range(0);
+  for (auto _ : state) {
+    Machine m;
+    const Rect r{0, 0, side, side};
+    Clock c{};
+    for (index_t i = 1; i < r.size(); ++i) {
+      c = m.send(r.at((i - 1) / side, (i - 1) % side),
+                 r.at(i / side, i % side), c);
+    }
+    benchmark::DoNotOptimize(c);
+    bench::report(state, "rowmajor-walk", static_cast<double>(side * side),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_RowMajorWalk)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  scm::bench::print_series(
+      "Z-order curve walk (Observation 1)", "zorder-walk",
+      {{"energy", false, 1.0, 0.05, "O(n)"}});
+  scm::bench::print_series("Row-major walk (comparison)", "rowmajor-walk",
+                           {{"energy", false, 1.0, 0.05, "O(n)"}});
+  return 0;
+}

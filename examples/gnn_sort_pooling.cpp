@@ -1,0 +1,74 @@
+// GNN sort-pooling layer (Zhang et al., cited in the paper's introduction)
+// on the spatial primitives: node feature vectors are sorted by their last
+// channel with the energy-optimal 2-D Mergesort and the top-k rows are
+// pooled into a fixed-size representation — the operation that makes
+// sorting a bottleneck layer in graph neural networks.
+#include "core/scm.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace {
+
+constexpr scm::index_t kChannels = 4;
+
+/// A node's feature row; sort pooling orders nodes by the last channel.
+struct NodeFeature {
+  scm::index_t node{0};
+  double channel[kChannels]{};
+};
+
+struct BySortChannel {
+  bool operator()(const NodeFeature& a, const NodeFeature& b) const {
+    return a.channel[kChannels - 1] > b.channel[kChannels - 1];  // descending
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace scm;
+  const index_t n_nodes = 256;
+  const index_t k = 16;  // pooled output size
+
+  // Synthesize node embeddings (in a real pipeline these come from a few
+  // rounds of message passing, i.e. SpMV with the adjacency matrix).
+  auto raw = random_doubles(/*seed=*/3, n_nodes * kChannels, -1.0, 1.0);
+  std::vector<NodeFeature> features(static_cast<size_t>(n_nodes));
+  for (index_t v = 0; v < n_nodes; ++v) {
+    features[static_cast<size_t>(v)].node = v;
+    for (index_t c = 0; c < kChannels; ++c) {
+      features[static_cast<size_t>(v)].channel[c] =
+          raw[static_cast<size_t>(v * kChannels + c)];
+    }
+  }
+
+  // Sort nodes by the last feature channel on the spatial machine.
+  Machine m;
+  auto grid = GridArray<NodeFeature>::from_values_square(
+      {0, 0}, features, Layout::kRowMajor);
+  GridArray<NodeFeature> sorted = mergesort2d(m, grid, BySortChannel{});
+
+  // Pool: keep the k top rows (they already sit in the first k grid
+  // positions after the sort).
+  std::printf("sort-pooled %lld of %lld nodes  |  %s\n",
+              static_cast<long long>(k), static_cast<long long>(n_nodes),
+              m.metrics().str().c_str());
+  std::printf("%-6s %-8s %s\n", "rank", "node", "features");
+  for (index_t r = 0; r < k; ++r) {
+    const NodeFeature& f = sorted[r].value;
+    std::printf("%-6lld v%-7lld [%+.3f %+.3f %+.3f %+.3f]\n",
+                static_cast<long long>(r), static_cast<long long>(f.node),
+                f.channel[0], f.channel[1], f.channel[2], f.channel[3]);
+  }
+
+  // Sanity: the pooled rows are in descending sort-channel order.
+  for (index_t r = 1; r < k; ++r) {
+    if (sorted[r - 1].value.channel[kChannels - 1] <
+        sorted[r].value.channel[kChannels - 1]) {
+      std::fprintf(stderr, "pooling order violated!\n");
+      return 1;
+    }
+  }
+  return 0;
+}

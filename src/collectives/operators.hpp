@@ -1,0 +1,68 @@
+// Associative operators for reduce / scan collectives, plus the segmented
+// operator wrapper of Section IV-C ("Segmented Scan"): for any associative
+// operator one can define a segmented operator with the segment logic built
+// in [Blelloch; Reif], so the same scan algorithm runs segmented scans.
+#pragma once
+
+#include <algorithm>
+
+namespace scm {
+
+/// Addition; the paper's running example operator.
+struct Plus {
+  template <class T>
+  T operator()(const T& a, const T& b) const {
+    return a + b;
+  }
+};
+
+/// Minimum.
+struct Min {
+  template <class T>
+  T operator()(const T& a, const T& b) const {
+    return std::min(a, b);
+  }
+};
+
+/// Maximum.
+struct Max {
+  template <class T>
+  T operator()(const T& a, const T& b) const {
+    return std::max(a, b);
+  }
+};
+
+/// Keeps the left operand: scanning with First turns an array whose segment
+/// heads hold a value into a segmented broadcast of that value (used by the
+/// SpMV column broadcast, Section VIII step 3).
+struct First {
+  template <class T>
+  T operator()(const T& a, const T& /*b*/) const {
+    return a;
+  }
+};
+
+/// An element of a segmented array: a value plus a flag marking the first
+/// element of its segment.
+template <class T>
+struct Seg {
+  T value{};
+  bool head{false};
+
+  friend bool operator==(const Seg&, const Seg&) = default;
+};
+
+/// The segmented wrapper of an associative operator. Associative whenever
+/// `Op` is; a scan with SegOp<Op> computes an independent scan per segment.
+template <class Op>
+struct SegOp {
+  Op op{};
+
+  template <class T>
+  Seg<T> operator()(const Seg<T>& a, const Seg<T>& b) const {
+    if (b.head) return Seg<T>{b.value, true};
+    return Seg<T>{op(a.value, b.value), a.head};
+  }
+};
+
+}  // namespace scm

@@ -1,0 +1,225 @@
+// The energy-optimal parallel scan (Section IV-C, Lemma IV.3).
+//
+// Input: an array stored in Z-order on a square power-of-two subgrid.
+// Output: inclusive prefix combinations under an associative operator, the
+// i-th result stored at the i-th input's processor.
+//
+// The algorithm forms a 4-ary summation tree over the grid's quadrant
+// recursion:
+//   * up-sweep   — recursively computes each subtree's total; the root of a
+//                  height-i subtree is stored at the i-th processor of the
+//                  subtree's subgrid in Z-order, so every processor holds at
+//                  most two tree values (Fig. 1a);
+//   * down-sweep — passes the prefix "from the left of this subtree" down
+//                  the quadrants: quadrant S_i receives x + s_0 + ... +
+//                  s_{i-1}, computed by chaining through the quadrant roots
+//                  (Fig. 1b).
+//
+// Costs (Lemma IV.3): O(n) energy (a constant factor over the Z-order curve
+// itself), O(log n) depth, O(sqrt(n)) distance.
+//
+// Arrays may underfill their square region (n need not be a power of 4):
+// absent trailing elements are treated as missing, not as identity values,
+// so the operator needs no identity element.
+#pragma once
+
+#include "collectives/operators.hpp"
+#include "spatial/grid_array.hpp"
+#include "spatial/machine.hpp"
+#include "spatial/zorder.hpp"
+
+#include <cassert>
+#include <optional>
+#include <unordered_map>
+
+namespace scm {
+
+namespace detail {
+
+/// One scan execution: holds the summation-tree nodes produced by the
+/// up-sweep so the down-sweep can chain prefixes through them.
+///
+/// kLog2Arity = 2 gives the paper's 4-ary quadrant tree (the energy-optimal
+/// scan); kLog2Arity = 1 gives a binary tree over the array order, which is
+/// the paper's "naive 1-D parallel prefix sum" baseline with Theta(n log n)
+/// energy when laid out in row-major order.
+template <class T, class Op, int kLog2Arity = 2>
+class ScanExec {
+ public:
+  static constexpr int kArity = 1 << kLog2Arity;
+
+  ScanExec(Machine& m, const GridArray<T>& in, GridArray<T>& out, Op op)
+      : m_(m), in_(in), out_(out), op_(op), n_(in.size()) {}
+
+  void run() {
+    if (n_ == 0) return;
+    index_t height = 0;
+    while ((index_t{1} << (kLog2Arity * height)) < n_) ++height;
+    upsweep(0, height);
+    downsweep(0, height, std::nullopt, Coord{});
+  }
+
+ private:
+  struct Node {
+    Cell<T> cell;
+    Coord coord;
+  };
+
+  static std::uint64_t key(index_t lo, index_t height) {
+    return (static_cast<std::uint64_t>(lo) << 6) |
+           static_cast<std::uint64_t>(height);
+  }
+
+  /// Coordinate of logical position z in the array's layout order over its
+  /// full region (valid beyond the array's fill, where summation-tree nodes
+  /// of underfilled subtrees may be stored). Honours the array's offset so
+  /// scans over z-order sub-ranges stay within their span.
+  Coord zcoord(index_t z) const {
+    const Rect& r = in_.region();
+    const index_t pos = in_.offset() + z;
+    if (in_.layout() == Layout::kZOrder) return zorder_coord(r, pos);
+    return r.at(pos / r.cols, pos % r.cols);
+  }
+
+  /// Computes the subtree total of positions [lo, lo + arity^height),
+  /// storing it at position lo + height of the region ("the i-th processor
+  /// of the current subgrid in Z-order, where i is the distance to a
+  /// leaf").
+  Node upsweep(index_t lo, index_t height) {
+    if (height == 0) {
+      Node node{in_[lo], in_.coord(lo)};
+      nodes_[key(lo, 0)] = node;
+      return node;
+    }
+    const index_t child_len = index_t{1} << (kLog2Arity * (height - 1));
+    const Coord store_at = zcoord(lo + height);
+    std::optional<Cell<T>> acc;
+    for (int c = 0; c < kArity; ++c) {
+      const index_t child_lo = lo + c * child_len;
+      if (child_lo >= n_) break;
+      const Node child = upsweep(child_lo, height - 1);
+      const Cell<T> arrived{child.cell.value,
+                            m_.send(child.coord, store_at, child.cell.clock)};
+      if (acc) {
+        acc = Cell<T>{op_(acc->value, arrived.value),
+                      Clock::join(acc->clock, arrived.clock)};
+        m_.op();
+        m_.observe(acc->clock);
+      } else {
+        acc = arrived;
+      }
+    }
+    Node node{*acc, store_at};
+    nodes_[key(lo, height)] = node;
+    return node;
+  }
+
+  /// Delivers the exclusive prefix `x` (resident at `x_at`, or nullopt for
+  /// the leftmost spine) into the subtree and writes inclusive results.
+  /// Within one level the prefix chains through the quadrant roots:
+  /// S_i's prefix is x + s_0 + ... + s_{i-1} (Fig. 1b).
+  void downsweep(index_t lo, index_t height, std::optional<Cell<T>> x,
+                 Coord x_at) {
+    if (height == 0) {
+      const Cell<T>& leaf = in_[lo];
+      if (x) {
+        // x has already been delivered to the leaf's processor by the
+        // caller (the height-0 node coordinate is the leaf itself).
+        out_[lo] = Cell<T>{op_(x->value, leaf.value),
+                           Clock::join(x->clock, leaf.clock)};
+        m_.op();
+        m_.observe(out_[lo].clock);
+      } else {
+        out_[lo] = leaf;
+      }
+      return;
+    }
+    const index_t child_len = index_t{1} << (kLog2Arity * (height - 1));
+    std::optional<Cell<T>> running = x;
+    Coord running_at = x_at;
+    for (int c = 0; c < kArity; ++c) {
+      const index_t child_lo = lo + c * child_len;
+      if (child_lo >= n_) break;
+      const Node& child = nodes_[key(child_lo, height - 1)];
+      // Deliver the current prefix to this child's root processor.
+      std::optional<Cell<T>> delivered;
+      if (running) {
+        delivered = Cell<T>{
+            running->value, m_.send(running_at, child.coord, running->clock)};
+      }
+      downsweep(child_lo, height - 1, delivered, child.coord);
+      // Extend the prefix with this child's subtree total; the extension is
+      // computed at the child's root, where both operands reside.
+      if (delivered) {
+        running = Cell<T>{op_(delivered->value, child.cell.value),
+                          Clock::join(delivered->clock, child.cell.clock)};
+        m_.op();
+        m_.observe(running->clock);
+      } else {
+        running = child.cell;
+      }
+      running_at = child.coord;
+    }
+  }
+
+  Machine& m_;
+  const GridArray<T>& in_;
+  GridArray<T>& out_;
+  Op op_;
+  index_t n_;
+  std::unordered_map<std::uint64_t, Node> nodes_;
+};
+
+}  // namespace detail
+
+/// Inclusive prefix scan of a Z-order array under the associative operator
+/// `op` (Lemma IV.3: O(n) energy, O(log n) depth, O(sqrt n) distance).
+/// Results are returned in an array with the same region and layout; the
+/// i-th result lives at the i-th input's processor.
+template <class T, class Op>
+[[nodiscard]] GridArray<T> scan(Machine& m, const GridArray<T>& a, Op op) {
+  assert(a.layout() == Layout::kZOrder);
+#ifndef NDEBUG
+  // Summation-tree nodes occupy layout positions up to the smallest power
+  // of four covering the array; they must fit inside the region.
+  index_t cap = 1;
+  while (cap < a.size()) cap <<= 2;
+  assert(a.offset() + cap <= a.region().size());
+#endif
+  Machine::PhaseScope scope(m, "scan");
+  GridArray<T> out(a.region(), a.layout(), a.size());
+  detail::ScanExec<T, Op> exec(m, a, out, op);
+  exec.run();
+  return out;
+}
+
+/// Segmented inclusive scan (Section IV-C "Segmented Scan"): an independent
+/// scan per segment, where segments start at elements whose `head` flag is
+/// set. Runs the same algorithm under the segmented operator wrapper.
+template <class T, class Op>
+[[nodiscard]] GridArray<Seg<T>> segmented_scan(Machine& m,
+                                               const GridArray<Seg<T>>& a,
+                                               Op op) {
+  Machine::PhaseScope scope(m, "segmented_scan");
+  return scan(m, a, SegOp<Op>{op});
+}
+
+/// Exclusive prefix scan: result i combines elements [0, i) and the first
+/// result is `identity`. Implemented as the inclusive scan followed by a
+/// one-hop shift along the Z-order curve, which adds O(n) energy and O(1)
+/// depth (Observation 1) — the bounds of Lemma IV.3 are unchanged.
+template <class T, class Op>
+[[nodiscard]] GridArray<T> exclusive_scan(Machine& m, const GridArray<T>& a,
+                                          Op op, T identity) {
+  Machine::PhaseScope scope(m, "exclusive_scan");
+  GridArray<T> inclusive = scan(m, a, op);
+  GridArray<T> out(a.region(), a.layout(), a.size());
+  if (a.size() == 0) return out;
+  out[0] = Cell<T>{identity, Clock{}};
+  for (index_t i = 1; i < a.size(); ++i) {
+    send_element(m, inclusive, i - 1, out, i);
+  }
+  return out;
+}
+
+}  // namespace scm

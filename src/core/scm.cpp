@@ -1,0 +1,18 @@
+#include "core/scm.hpp"
+
+#include <sstream>
+
+namespace scm {
+
+const char* version() { return "1.0.0"; }
+
+std::string cost_report(const Machine& m) {
+  std::ostringstream os;
+  os << "total: " << m.metrics() << "\n";
+  for (const auto& [name, metrics] : m.phases()) {
+    os << "  " << name << ": " << metrics << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace scm

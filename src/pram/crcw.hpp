@@ -1,0 +1,33 @@
+// CRCW PRAM simulation on the Spatial Computer Model (Section VII-B,
+// Lemma VII.2).
+//
+// Concurrent reads and writes are resolved with the energy-optimal sorting
+// and scanning primitives:
+//   * read step — (processor, cell) tuples are sorted by cell; the first
+//     tuple of each cell segment fetches the value; a segmented broadcast
+//     distributes it along the segment; tuples are sorted back by
+//     processor index (interpreted as a Z-order grid location);
+//   * write step — (value, processor, cell) tuples are sorted by (cell,
+//     processor); the first tuple of each segment writes, so an
+//     "arbitrary" concurrent write deterministically resolves to the
+//     lowest processor id.
+//
+// Costs per simulated step: O(p sqrt(p) + p sqrt(m)) energy and
+// O(log^3 p) depth — the sorting dominates the depth, which is exactly the
+// log^3 factor of Lemma VII.2.
+#pragma once
+
+#include "pram/erew.hpp"
+#include "pram/program.hpp"
+#include "spatial/machine.hpp"
+
+#include <vector>
+
+namespace scm::pram {
+
+/// Runs `prog` under CRCW semantics from the given initial memory image;
+/// returns the final image. Costs per Lemma VII.2.
+std::vector<Word> simulate_crcw(Machine& machine, const Program& prog,
+                                std::vector<Word> memory);
+
+}  // namespace scm::pram

@@ -1,0 +1,39 @@
+// EREW PRAM simulation on the Spatial Computer Model (Section VII-A,
+// Lemma VII.1).
+//
+// The PRAM processors occupy a sqrt(p) x sqrt(p) subgrid (Z-order indexed)
+// and the shared memory a sqrt(m) x sqrt(m) subgrid next to it (row-major
+// indexed). Each simulated step exchanges direct request/response messages
+// between processors and the cells they access:
+//   O(p (sqrt p + sqrt m)) energy, O(1) message depth, and
+//   O(sqrt p + sqrt m) distance per step.
+//
+// Concurrent reads or writes raise ConcurrencyViolation — use
+// simulate_crcw for programs that need them.
+#pragma once
+
+#include "pram/program.hpp"
+#include "spatial/machine.hpp"
+
+#include <vector>
+
+namespace scm::pram {
+
+/// Where a simulation places the simulated machine on the grid.
+struct PramPlacement {
+  Rect processors;  ///< Z-order indexed square for the p processors
+  Rect memory;      ///< row-major indexed square for the m cells
+};
+
+/// The canonical placement at `origin`: processors first, memory adjacent
+/// to their right.
+[[nodiscard]] PramPlacement default_placement(index_t p, index_t m,
+                                              Coord origin = {0, 0});
+
+/// Runs `prog` from the given initial memory image; returns the final
+/// image. Costs per Lemma VII.1. Throws ConcurrencyViolation on concurrent
+/// access and std::invalid_argument on malformed programs.
+std::vector<Word> simulate_erew(Machine& machine, const Program& prog,
+                                std::vector<Word> memory);
+
+}  // namespace scm::pram

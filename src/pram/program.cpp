@@ -1,0 +1,23 @@
+#include "pram/program.hpp"
+
+#include <stdexcept>
+
+namespace scm::pram {
+
+void validate(const Program& prog, const std::vector<Word>& memory) {
+  if (prog.num_processors() <= 0) {
+    throw std::invalid_argument("PRAM program needs at least one processor");
+  }
+  if (prog.num_cells() <= 0) {
+    throw std::invalid_argument("PRAM program needs at least one memory cell");
+  }
+  if (prog.num_steps() < 0) {
+    throw std::invalid_argument("PRAM program has a negative step count");
+  }
+  if (static_cast<index_t>(memory.size()) != prog.num_cells()) {
+    throw std::invalid_argument(
+        "initial memory image size does not match the program's num_cells");
+  }
+}
+
+}  // namespace scm::pram

@@ -1,0 +1,80 @@
+// The PRAM program abstraction for the simulations of Section VII.
+//
+// A program runs p processors against m shared memory cells for T
+// synchronous steps. In each step every processor may read at most one
+// cell, perform O(1) local computation on its constant-size register file,
+// and write at most one cell. All reads of a step happen before all writes
+// (standard PRAM step semantics).
+//
+// The same program object runs under both simulators:
+//   * simulate_erew (Lemma VII.1) — rejects any concurrent access;
+//   * simulate_crcw (Lemma VII.2) — resolves concurrency by sorting;
+//     concurrent writes are "arbitrary", deterministically resolved to the
+//     lowest processor id.
+#pragma once
+
+#include "spatial/geometry.hpp"
+
+#include <array>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace scm::pram {
+
+/// Machine word of the simulated PRAM (doubles subsume the integer index
+/// arithmetic the sample programs need).
+using Word = double;
+
+/// Constant-size per-processor register file (the PRAM's local state).
+struct ProcessorState {
+  std::array<Word, 8> reg{};
+};
+
+/// A pending write of one step.
+struct WriteOp {
+  index_t cell{0};
+  Word value{0};
+};
+
+/// A synchronous PRAM program. Implementations must be deterministic
+/// functions of (step, processor, state, read value).
+class Program {
+ public:
+  virtual ~Program() = default;
+
+  /// Number of PRAM processors p.
+  [[nodiscard]] virtual index_t num_processors() const = 0;
+
+  /// Number of shared memory cells m (the initial memory image passed to a
+  /// simulator must have exactly this size).
+  [[nodiscard]] virtual index_t num_cells() const = 0;
+
+  /// Number of synchronous steps T.
+  [[nodiscard]] virtual index_t num_steps() const = 0;
+
+  /// Read phase of step `t`: the cell processor `p` reads, or nullopt.
+  [[nodiscard]] virtual std::optional<index_t> read_request(
+      index_t t, index_t p, const ProcessorState& state) const = 0;
+
+  /// Execute phase of step `t`: receives the read value (if any), updates
+  /// the register file, and optionally emits one write.
+  virtual std::optional<WriteOp> execute(index_t t, index_t p,
+                                         ProcessorState& state,
+                                         std::optional<Word> read) const = 0;
+};
+
+/// Thrown by simulate_erew when a program performs a concurrent read or
+/// write (which the EREW model forbids).
+class ConcurrencyViolation : public std::runtime_error {
+ public:
+  explicit ConcurrencyViolation(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Validates static program parameters (positive processor/step counts,
+/// memory image size); throws std::invalid_argument on mismatch.
+void validate(const Program& prog, const std::vector<Word>& memory);
+
+}  // namespace scm::pram

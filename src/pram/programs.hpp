@@ -1,0 +1,226 @@
+// A small library of PRAM programs used by tests, benches, and the SpMV
+// PRAM-simulation baseline of Section VIII:
+//   * TreeReduceProgram      — pairwise tree reduction (EREW, 2 log n steps);
+//   * HillisSteeleScanProgram— inclusive prefix scan (EREW, log n + 1 steps);
+//   * BroadcastReadProgram   — all processors read cell 0 (CRCW-only);
+//   * CommonWriteProgram     — all processors write cell 0 (CRCW-only;
+//                              "arbitrary" resolves to the lowest id).
+#pragma once
+
+#include "pram/program.hpp"
+#include "spatial/geometry.hpp"
+
+#include <cassert>
+#include <optional>
+
+namespace scm::pram {
+
+/// Reduces cells [0, n) into cell 0 under an associative, commutative
+/// binary operation, with n/2 processors and 2 log2(n) steps (two steps per
+/// tree level: fetch the right operand, then combine in place). EREW-safe.
+class TreeReduceProgram : public Program {
+ public:
+  using BinOp = Word (*)(Word, Word);
+
+  TreeReduceProgram(index_t n, BinOp op) : n_(n), op_(op) {
+    assert(is_pow2(n));
+    levels_ = 0;
+    while ((index_t{1} << levels_) < n) ++levels_;
+  }
+
+  [[nodiscard]] index_t num_processors() const override {
+    return std::max<index_t>(1, n_ / 2);
+  }
+  [[nodiscard]] index_t num_cells() const override { return n_; }
+  [[nodiscard]] index_t num_steps() const override { return 2 * levels_; }
+
+  [[nodiscard]] std::optional<index_t> read_request(
+      index_t t, index_t p, const ProcessorState&) const override {
+    const index_t level = t / 2;
+    const index_t stride = index_t{1} << level;
+    if (p >= n_ / (2 * stride)) return std::nullopt;
+    const index_t base = p * 2 * stride;
+    return (t % 2 == 0) ? base + stride : base;
+  }
+
+  std::optional<WriteOp> execute(index_t t, index_t p, ProcessorState& state,
+                                 std::optional<Word> read) const override {
+    const index_t level = t / 2;
+    const index_t stride = index_t{1} << level;
+    if (p >= n_ / (2 * stride)) return std::nullopt;
+    if (t % 2 == 0) {
+      state.reg[0] = *read;
+      return std::nullopt;
+    }
+    return WriteOp{p * 2 * stride, op_(*read, state.reg[0])};
+  }
+
+ private:
+  index_t n_;
+  BinOp op_;
+  index_t levels_{0};
+};
+
+/// Inclusive prefix-sum scan of cells [0, n) in place, one processor per
+/// cell, log2(n) + 1 steps (Hillis-Steele). Reads and writes are exclusive
+/// within every step, so it runs on both simulators; it is the classic
+/// low-depth PRAM scan the paper's energy-optimal spatial scan is measured
+/// against (Section II-B "Work-Depth/PRAM").
+class HillisSteeleScanProgram : public Program {
+ public:
+  explicit HillisSteeleScanProgram(index_t n) : n_(n) {
+    assert(is_pow2(n));
+    levels_ = 0;
+    while ((index_t{1} << levels_) < n) ++levels_;
+  }
+
+  [[nodiscard]] index_t num_processors() const override { return n_; }
+  [[nodiscard]] index_t num_cells() const override { return n_; }
+  [[nodiscard]] index_t num_steps() const override { return levels_ + 1; }
+
+  [[nodiscard]] std::optional<index_t> read_request(
+      index_t t, index_t p, const ProcessorState&) const override {
+    if (t == 0) return p;  // load own value
+    const index_t stride = index_t{1} << (t - 1);
+    if (p < stride) return std::nullopt;
+    return p - stride;
+  }
+
+  std::optional<WriteOp> execute(index_t t, index_t p, ProcessorState& state,
+                                 std::optional<Word> read) const override {
+    if (t == 0) {
+      state.reg[0] = *read;
+      return std::nullopt;
+    }
+    if (!read) return std::nullopt;
+    state.reg[0] += *read;
+    return WriteOp{p, state.reg[0]};
+  }
+
+ private:
+  index_t n_;
+  index_t levels_{0};
+};
+
+/// List ranking by pointer jumping [Wyllie]: given a linked list encoded
+/// as successor pointers in cells [0, n) (value n marks the tail), after
+/// ceil(log2 n) rounds cell n + i holds node i's distance to the tail.
+/// Every round each processor reads its successor's *current* pointer and
+/// rank — data-dependent addresses, demonstrating that simulated PRAM
+/// programs may compute where to read from register state. Reads are
+/// concurrent when chains share successors mid-jump, so this is a CRCW
+/// program (simulate_crcw); memory cells [0, n) hold the (mutating)
+/// pointers, [n, 2n) the partial ranks.
+class ListRankProgram : public Program {
+ public:
+  explicit ListRankProgram(index_t n) : n_(n) {
+    rounds_ = 0;
+    while ((index_t{1} << rounds_) < n) ++rounds_;
+  }
+
+  [[nodiscard]] index_t num_processors() const override { return n_; }
+  [[nodiscard]] index_t num_cells() const override { return 2 * n_; }
+  /// Steps per round: load own pointer, read successor's rank, read
+  /// successor's pointer + commit (two writes need two steps).
+  [[nodiscard]] index_t num_steps() const override { return 4 * rounds_ + 1; }
+
+  [[nodiscard]] std::optional<index_t> read_request(
+      index_t t, index_t p, const ProcessorState& state) const override {
+    if (t == 0) return p;  // initial pointer load
+    const index_t phase = (t - 1) % 4;
+    const auto succ = static_cast<index_t>(state.reg[0]);
+    switch (phase) {
+      case 0:  // read successor's rank (skip at the tail)
+        return succ >= n_ ? std::nullopt
+                          : std::optional<index_t>(n_ + succ);
+      case 1:  // read successor's pointer
+        return succ >= n_ ? std::nullopt : std::optional<index_t>(succ);
+      default:
+        return std::nullopt;  // write-only commit steps
+    }
+  }
+
+  std::optional<WriteOp> execute(index_t t, index_t p,
+                                 ProcessorState& state,
+                                 std::optional<Word> read) const override {
+    if (t == 0) {
+      state.reg[0] = *read;  // successor pointer
+      state.reg[1] = state.reg[0] >= static_cast<Word>(n_) ? 0.0 : 1.0;
+      return WriteOp{n_ + p, state.reg[1]};
+    }
+    const index_t phase = (t - 1) % 4;
+    switch (phase) {
+      case 0:  // accumulate successor's rank
+        if (read) state.reg[2] = *read;
+        return std::nullopt;
+      case 1:  // remember successor's successor
+        if (read) state.reg[3] = *read;
+        return std::nullopt;
+      case 2:  // commit the doubled rank
+        if (static_cast<index_t>(state.reg[0]) >= n_) return std::nullopt;
+        state.reg[1] += state.reg[2];
+        return WriteOp{n_ + p, state.reg[1]};
+      default:  // commit the jumped pointer
+        if (static_cast<index_t>(state.reg[0]) >= n_) return std::nullopt;
+        state.reg[0] = state.reg[3];
+        return WriteOp{p, state.reg[0]};
+    }
+  }
+
+ private:
+  index_t n_;
+  index_t rounds_{0};
+};
+
+/// Every processor reads cell 0 and writes (value + its id) to cell 1 + id.
+/// A pure concurrent-read program: EREW simulation must reject it; CRCW
+/// resolves it with one fetch plus a segmented broadcast.
+class BroadcastReadProgram : public Program {
+ public:
+  explicit BroadcastReadProgram(index_t p) : p_(p) {}
+
+  [[nodiscard]] index_t num_processors() const override { return p_; }
+  [[nodiscard]] index_t num_cells() const override { return p_ + 1; }
+  [[nodiscard]] index_t num_steps() const override { return 1; }
+
+  [[nodiscard]] std::optional<index_t> read_request(
+      index_t, index_t, const ProcessorState&) const override {
+    return 0;
+  }
+
+  std::optional<WriteOp> execute(index_t, index_t p, ProcessorState&,
+                                 std::optional<Word> read) const override {
+    return WriteOp{p + 1, *read + static_cast<Word>(p)};
+  }
+
+ private:
+  index_t p_;
+};
+
+/// Every processor writes its id to cell 0. A pure concurrent-write
+/// program: EREW must reject it; the CRCW "arbitrary" rule resolves it to
+/// the lowest processor id (deterministically, by the sort-based tie
+/// break).
+class CommonWriteProgram : public Program {
+ public:
+  explicit CommonWriteProgram(index_t p) : p_(p) {}
+
+  [[nodiscard]] index_t num_processors() const override { return p_; }
+  [[nodiscard]] index_t num_cells() const override { return 1; }
+  [[nodiscard]] index_t num_steps() const override { return 1; }
+
+  [[nodiscard]] std::optional<index_t> read_request(
+      index_t, index_t, const ProcessorState&) const override {
+    return std::nullopt;
+  }
+
+  std::optional<WriteOp> execute(index_t, index_t p, ProcessorState&,
+                                 std::optional<Word>) const override {
+    return WriteOp{0, static_cast<Word>(p)};
+  }
+
+ private:
+  index_t p_;
+};
+
+}  // namespace scm::pram

@@ -1,0 +1,49 @@
+// Level-1 vector operations on the spatial machine, shared by the
+// iterative solvers: inner products run as local multiplies followed by
+// the quadrant-tree reduce (Section IV-B, O(n) energy / O(log n) depth);
+// axpy-style updates are purely local.
+#pragma once
+
+#include "collectives/reduce.hpp"
+#include "spatial/grid_array.hpp"
+#include "spatial/machine.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace scm::solvers {
+
+/// <a, b> via local multiplies + quadrant reduce.
+[[nodiscard]] inline double dot(Machine& m, const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  const auto n = static_cast<index_t>(a.size());
+  if (n == 0) return 0.0;
+  GridArray<double> prod = GridArray<double>::on_square({0, 0}, n);
+  for (index_t i = 0; i < n; ++i) {
+    prod[i].value = a[static_cast<size_t>(i)] * b[static_cast<size_t>(i)];
+    m.op();
+  }
+  return reduce(m, prod, Plus{}).value;
+}
+
+/// Euclidean norm squared.
+[[nodiscard]] inline double norm2(Machine& m, const std::vector<double>& a) {
+  return dot(m, a, a);
+}
+
+/// y += alpha * x (local at every processor).
+inline void axpy(Machine& m, double alpha, const std::vector<double>& x,
+                 std::vector<double>& y) {
+  assert(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  m.op(static_cast<index_t>(x.size()));
+}
+
+/// x = alpha * x (local).
+inline void scale(Machine& m, double alpha, std::vector<double>& x) {
+  for (double& v : x) v *= alpha;
+  m.op(static_cast<index_t>(x.size()));
+}
+
+}  // namespace scm::solvers

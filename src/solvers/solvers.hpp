@@ -1,0 +1,48 @@
+// Iterative solvers on the spatial machine — the scientific-computing
+// workloads (conjugate gradients [Hestenes-Stiefel], stationary
+// iterations, eigensolvers) the paper's introduction motivates SpMV with.
+// Every matrix-vector product runs through scm::spmv (Theorem VIII.2) and
+// every inner product through the quadrant reduce, so a whole solve
+// carries end-to-end Spatial Computer Model costs.
+#pragma once
+
+#include "spatial/machine.hpp"
+#include "spmv/coo.hpp"
+
+#include <vector>
+
+namespace scm::solvers {
+
+/// Result of an iterative solve.
+struct SolveResult {
+  std::vector<double> x;     ///< the solution / eigenvector iterate
+  double residual{0.0};      ///< final residual norm (solvers) or
+                             ///< eigenvalue estimate (power iteration)
+  index_t iterations{0};
+  bool converged{false};
+};
+
+/// Options shared by the solvers.
+struct SolveOptions {
+  index_t max_iterations{200};
+  double tolerance{1e-10};  ///< on the relative residual norm
+};
+
+/// Conjugate gradients for symmetric positive definite A.
+[[nodiscard]] SolveResult conjugate_gradient(Machine& m, const CooMatrix& a,
+                                             const std::vector<double>& b,
+                                             const SolveOptions& opts = {});
+
+/// Jacobi iteration x' = D^{-1} (b - (A - D) x); requires a non-zero
+/// diagonal. Converges for diagonally dominant systems.
+[[nodiscard]] SolveResult jacobi(Machine& m, const CooMatrix& a,
+                                 const std::vector<double>& b,
+                                 const SolveOptions& opts = {});
+
+/// Power iteration for the dominant eigenpair; `residual` returns the
+/// Rayleigh-quotient eigenvalue estimate.
+[[nodiscard]] SolveResult power_iteration(Machine& m, const CooMatrix& a,
+                                          std::vector<double> x0,
+                                          const SolveOptions& opts = {});
+
+}  // namespace scm::solvers

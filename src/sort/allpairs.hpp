@@ -1,0 +1,182 @@
+// All-Pairs Sort (Section V-C-a, Lemma V.5).
+//
+// A low-depth auxiliary sort that compares every element with every other:
+// the computation "explodes" onto an n x n scratch subgrid subdivided into
+// n blocks of sqrt(n) x sqrt(n) processors each (one block per element).
+//   1. scatter element A_i to the corner of block i;
+//   2. broadcast A_i within block i;
+//   3. copy the whole array A to every block with the recursive-quadrant
+//      2-D broadcast pattern, treating the array and the blocks as units;
+//   4. every processor compares its two resident elements;
+//   5. each block reduces the comparison bits to the rank of A_i and the
+//      element is routed to its sorted position.
+//
+// Costs: O(n^{5/2}) energy, O(log n) depth, O(n) distance — low depth but
+// polynomially sub-optimal energy, which is why the merge machinery only
+// applies it to sqrt(n)-sized samples (Lemma V.6).
+//
+// The comparator must be a strict TOTAL order (distinct ranks); wrap
+// elements with WithId/TotalLess for duplicate keys. The scratch subgrid
+// overlays the grid starting at the input's region origin; every processor
+// holds O(1) extra words during the sort, within the model's memory bound.
+#pragma once
+
+#include "collectives/broadcast.hpp"
+#include "collectives/reduce.hpp"
+#include "sort/keyed.hpp"
+#include "spatial/grid_array.hpp"
+#include "spatial/machine.hpp"
+#include "spatial/zorder.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace scm {
+
+namespace detail {
+
+/// Copies the array resident in block `group_first` (cell j of the block
+/// holds A_j in block-local Z-order) to every block of the Z-order block
+/// range [group_first, group_first + group_size), recursively by quadrant
+/// groups. `copies[b][j]` receives the cell of A_j resident in block b.
+/// Blocks at or beyond `live_blocks` are skipped (they host no element).
+template <class T>
+void copy_array_to_blocks(Machine& m, const Rect& base, index_t block_side,
+                          index_t group_first, index_t group_size,
+                          index_t live_blocks,
+                          std::vector<std::vector<Cell<T>>>& copies) {
+  if (group_size <= 1 || group_first >= live_blocks) return;
+  const index_t quarter = group_size / 4;
+  const index_t n = static_cast<index_t>(copies[0].size());
+
+  auto block_rect = [&](index_t b) {
+    const Offset2D off = zorder_decode(b);
+    return Rect{base.row0 + off.row * block_side,
+                base.col0 + off.col * block_side, block_side, block_side};
+  };
+
+  const Rect src_rect = block_rect(group_first);
+  const auto src = static_cast<size_t>(group_first);
+  for (int q = 1; q < 4; ++q) {
+    const index_t dst_block = group_first + q * quarter;
+    if (dst_block >= live_blocks) break;
+    const Rect dst_rect = block_rect(dst_block);
+    const auto dst = static_cast<size_t>(dst_block);
+    for (index_t j = 0; j < n; ++j) {
+      const Coord from = zorder_coord(src_rect, j % src_rect.size());
+      const Coord to = zorder_coord(dst_rect, j % dst_rect.size());
+      const Cell<T>& cell = copies[src][static_cast<size_t>(j)];
+      copies[dst][static_cast<size_t>(j)] =
+          Cell<T>{cell.value, m.send(from, to, cell.clock)};
+    }
+  }
+  for (int q = 0; q < 4; ++q) {
+    copy_array_to_blocks(m, base, block_side, group_first + q * quarter,
+                         quarter, live_blocks, copies);
+  }
+}
+
+}  // namespace detail
+
+/// All-Pairs Sort under the strict total order `less`. Returns the sorted
+/// array in Z-order on the canonical square at the input's region origin.
+template <class T, class Less>
+[[nodiscard]] GridArray<T> allpairs_sort(Machine& m, const GridArray<T>& input,
+                                         Less less) {
+  const index_t n = input.size();
+  const Coord origin = input.region().origin();
+  if (n <= 1) {
+    GridArray<T> out = GridArray<T>::on_square(origin, n);
+    if (n == 1) send_element(m, input, 0, out, 0);
+    return out;
+  }
+  Machine::PhaseScope scope(m, "allpairs_sort");
+
+  const index_t s = square_side_for(n);  // block side; s*s blocks available
+  const Rect base = square_at(origin, s);
+
+  // Route the input into block 0 (the base square) in Z-order; free when it
+  // is already there.
+  GridArray<T> a = route_permutation(m, input, base, Layout::kZOrder);
+
+  auto block_rect = [&](index_t b) {
+    const Offset2D off = zorder_decode(b);
+    return Rect{base.row0 + off.row * s, base.col0 + off.col * s, s, s};
+  };
+
+  // Step 1: scatter A_i to the corner of block i.
+  std::vector<Cell<T>> at_corner(static_cast<size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const Cell<T>& cell = a[i];
+    at_corner[static_cast<size_t>(i)] =
+        Cell<T>{cell.value,
+                m.send(a.coord(i), block_rect(i).origin(), cell.clock)};
+  }
+
+  // Step 2: broadcast A_i within block i.
+  std::vector<GridArray<T>> own(
+      static_cast<size_t>(n),
+      GridArray<T>(Rect{0, 0, 1, 1}, Layout::kRowMajor, 0));
+  for (index_t i = 0; i < n; ++i) {
+    own[static_cast<size_t>(i)] =
+        broadcast(m, block_rect(i), at_corner[static_cast<size_t>(i)]);
+  }
+
+  // Step 3: copy A to every block (block 0 holds it already, cost-free).
+  std::vector<std::vector<Cell<T>>> copies(
+      static_cast<size_t>(n), std::vector<Cell<T>>(static_cast<size_t>(n)));
+  for (index_t j = 0; j < n; ++j) copies[0][static_cast<size_t>(j)] = a[j];
+  detail::copy_array_to_blocks(m, base, s, 0, s * s, n, copies);
+
+  // Steps 4-5: compare locally, reduce the bits to A_i's rank.
+  GridArray<T> out = GridArray<T>::on_square(origin, n);
+#ifndef NDEBUG
+  std::vector<bool> taken(static_cast<size_t>(n), false);
+#endif
+  for (index_t i = 0; i < n; ++i) {
+    const Rect br = block_rect(i);
+    GridArray<index_t> bits(br, Layout::kZOrder, n);
+    const GridArray<T>& mine = own[static_cast<size_t>(i)];
+    for (index_t j = 0; j < n; ++j) {
+      const Coord cj = zorder_coord(br, j);
+      // own[] is row-major over the block; find A_i's copy at cell j.
+      const index_t own_idx =
+          (cj.row - br.row0) * br.cols + (cj.col - br.col0);
+      const Cell<T>& copy_j = copies[static_cast<size_t>(i)]
+                                    [static_cast<size_t>(j)];
+      const Cell<T>& self = mine[own_idx];
+      bits[j] = Cell<index_t>{less(copy_j.value, self.value) ? index_t{1}
+                                                             : index_t{0},
+                              Clock::join(copy_j.clock, self.clock)};
+      m.op();
+    }
+    const Cell<index_t> rank = reduce(m, bits, Plus{});
+    assert(rank.value >= 0 && rank.value < n);
+#ifndef NDEBUG
+    assert(!taken[static_cast<size_t>(rank.value)] &&
+           "allpairs_sort requires a strict total order (distinct ranks)");
+    taken[static_cast<size_t>(rank.value)] = true;
+#endif
+    // Route A_i (resident at the block corner with the rank) to its sorted
+    // position in the output square.
+    const Cell<T>& elem = at_corner[static_cast<size_t>(i)];
+    const Clock ready = Clock::join(elem.clock, rank.clock);
+    out[rank.value] =
+        Cell<T>{elem.value, m.send(br.origin(), out.coord(rank.value), ready)};
+  }
+  return out;
+}
+
+/// Stable All-Pairs Sort for arbitrary (possibly duplicated) keys: tags
+/// elements with their index and sorts under the induced total order.
+template <class T, class Less>
+[[nodiscard]] GridArray<T> allpairs_sort_stable(Machine& m,
+                                                const GridArray<T>& input,
+                                                Less less) {
+  GridArray<WithId<T>> tagged = attach_ids(m, input);
+  GridArray<WithId<T>> sorted =
+      allpairs_sort(m, tagged, TotalLess<Less>{less});
+  return detach_ids(m, sorted);
+}
+
+}  // namespace scm

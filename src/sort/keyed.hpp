@@ -1,0 +1,66 @@
+// Total-order wrappers for the comparison-based algorithms of Sections V
+// and VI.
+//
+// The rank-split merge and the selection routines need *unique* ranks to be
+// well-defined under duplicate keys. We attach a unique id to every element
+// at the start of a sort and break comparison ties by id; this makes every
+// rank unique and, as a bonus, makes the whole sort stable.
+#pragma once
+
+#include "spatial/geometry.hpp"
+#include "spatial/grid_array.hpp"
+
+#include <functional>
+#include <utility>
+
+namespace scm {
+
+/// An element tagged with its unique original position.
+template <class T>
+struct WithId {
+  T value{};
+  index_t id{0};
+
+  friend bool operator==(const WithId&, const WithId&) = default;
+};
+
+/// Strict total order over WithId: by the user comparator first, by id on
+/// ties. Antisymmetric for any strict weak order `Less`.
+template <class Less>
+struct TotalLess {
+  Less less{};
+
+  template <class T>
+  bool operator()(const WithId<T>& a, const WithId<T>& b) const {
+    if (less(a.value, b.value)) return true;
+    if (less(b.value, a.value)) return false;
+    return a.id < b.id;
+  }
+};
+
+/// Tags each element of `a` with its index (a local operation: ids are
+/// known to each processor without communication).
+template <class T>
+[[nodiscard]] GridArray<WithId<T>> attach_ids(Machine& m,
+                                              const GridArray<T>& a) {
+  GridArray<WithId<T>> out(a.region(), a.layout(), a.size());
+  for (index_t i = 0; i < a.size(); ++i) {
+    out[i] = Cell<WithId<T>>{WithId<T>{a[i].value, i}, a[i].clock};
+    m.op();
+  }
+  return out;
+}
+
+/// Drops the id tags (local).
+template <class T>
+[[nodiscard]] GridArray<T> detach_ids(Machine& m,
+                                      const GridArray<WithId<T>>& a) {
+  GridArray<T> out(a.region(), a.layout(), a.size());
+  for (index_t i = 0; i < a.size(); ++i) {
+    out[i] = Cell<T>{a[i].value.value, a[i].clock};
+    m.op();
+  }
+  return out;
+}
+
+}  // namespace scm

@@ -1,0 +1,231 @@
+// Rank selection in two sorted arrays (Section V-C-c, Lemma V.6) — the
+// multiselection subroutine of the 2-D merge.
+//
+// Given sorted arrays A and B and a rank k (1-based, within |A|+|B|), it
+// finds the split (a_count, b_count) with a_count + b_count = k such that
+// A[0, a_count) and B[0, b_count) are exactly the k smallest elements of
+// the union:
+//   1. sample every floor(sqrt(n))-th element of A and of B;
+//   2. All-Pairs Sort the sample;
+//   3. l = floor((k-1) / floor(sqrt(n)));
+//   4. the l-th ranked sample element is the pivot; binary searches locate
+//      its predecessor counts a and b in A and B;
+//   5. the rank-(k-a-b) element is found among the next ~2 sqrt(n)
+//      elements of each array with another All-Pairs Sort.
+//
+// Costs: O(n^{5/4}) energy, O(log n) depth, O(sqrt n) distance — dominated
+// by the All-Pairs Sort of the sqrt(n)-sized sample (Lemma V.6).
+//
+// `less` must be a strict TOTAL order over T (wrap with WithId/TotalLess).
+#pragma once
+
+#include "sort/allpairs.hpp"
+#include "spatial/grid_array.hpp"
+#include "spatial/machine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace scm {
+
+/// Result of a rank-selection over two sorted arrays: the k smallest
+/// elements of the union are A[0, a_count) together with B[0, b_count).
+/// `clock` is the readiness of this decision at the work origin.
+struct SplitResult {
+  index_t a_count{0};
+  index_t b_count{0};
+  Clock clock{};
+};
+
+namespace detail {
+
+/// Walking binary search counting the elements of the sorted array `arr`
+/// that are <= pivot. The pivot value *travels* from probe to probe rather
+/// than round-tripping to its home processor: consecutive midpoints are a
+/// geometrically shrinking index distance apart, so on a Z-order (or
+/// row-major) layout the probe path's total Manhattan length is a
+/// geometric series — O(sqrt n) distance and energy, O(log n) depth. (The
+/// paper notes that a naive binary search subroutine would be
+/// distance-suboptimal; the walking form avoids that.) The count finally
+/// returns to `home`.
+struct CountResult {
+  index_t count{0};
+  Clock clock{};
+};
+
+template <class T, class Less>
+CountResult count_leq(Machine& m, const GridArray<T>& arr, const T& pivot,
+                      Clock pivot_clock, Coord home, Less less) {
+  index_t lo = 0;
+  index_t hi = arr.size();
+  Clock clock = pivot_clock;
+  Coord at = home;
+  while (lo < hi) {
+    const index_t mid = lo + (hi - lo) / 2;
+    const Coord probe = arr.coord(mid);
+    clock = m.send(at, probe, clock);
+    clock = Clock::join(clock, arr[mid].clock);
+    at = probe;
+    m.op();
+    if (less(pivot, arr[mid].value)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  clock = m.send(at, home, clock);
+  return {lo, clock};
+}
+
+/// An element annotated with its source array (0 = A, 1 = B) and index, so
+/// the selected pivot can be traced back to a split position.
+template <class T>
+struct SampleElem {
+  T value{};
+  int src{0};
+  index_t idx{0};
+};
+
+template <class Less>
+struct SampleLess {
+  Less less{};
+  template <class T>
+  bool operator()(const SampleElem<T>& a, const SampleElem<T>& b) const {
+    return less(a.value, b.value);
+  }
+};
+
+/// Gathers elements of `arr` at the given indices into a Z-order square at
+/// `work_origin`, one direct message per element; the gather request chains
+/// from `ready` (the decision that triggered it) when provided.
+template <class T>
+GridArray<SampleElem<T>> gather_indexed(Machine& m, const GridArray<T>& a,
+                                        const GridArray<T>& b,
+                                        const std::vector<index_t>& a_idx,
+                                        const std::vector<index_t>& b_idx,
+                                        Coord work_origin,
+                                        const Clock* ready) {
+  const index_t total =
+      static_cast<index_t>(a_idx.size() + b_idx.size());
+  GridArray<SampleElem<T>> out =
+      GridArray<SampleElem<T>>::on_square(work_origin, total);
+  index_t slot = 0;
+  auto pull = [&](const GridArray<T>& src, int tag,
+                  const std::vector<index_t>& idx) {
+    for (index_t i : idx) {
+      Clock elem_clock = src[i].clock;
+      if (ready != nullptr) {
+        // The request to fetch this element travels from the coordinator.
+        const Clock request = m.send(work_origin, src.coord(i), *ready);
+        elem_clock = Clock::join(elem_clock, request);
+      }
+      out[slot] = Cell<SampleElem<T>>{
+          SampleElem<T>{src[i].value, tag, i},
+          m.send(src.coord(i), out.coord(slot), elem_clock)};
+      ++slot;
+    }
+  };
+  pull(a, 0, a_idx);
+  pull(b, 1, b_idx);
+  return out;
+}
+
+}  // namespace detail
+
+/// Selects the rank-k split of two sorted arrays (Lemma V.6). `k` is
+/// 1-based in [0, |A|+|B|] (k = 0 gives the empty split). Sample gathering,
+/// sorting, and window scanning happen on a square overlay at
+/// `work_origin`, which callers place at the merge region's corner.
+template <class T, class Less>
+[[nodiscard]] SplitResult rank_select_two_sorted(Machine& m,
+                                                 const GridArray<T>& a,
+                                                 const GridArray<T>& b,
+                                                 index_t k, Coord work_origin,
+                                                 Less less) {
+  const index_t na = a.size();
+  const index_t nb = b.size();
+  const index_t n = na + nb;
+  assert(k >= 0 && k <= n);
+  if (k == 0) return SplitResult{0, 0, Clock{}};
+  if (k == n) return SplitResult{na, nb, Clock{}};
+  Machine::PhaseScope scope(m, "rank_select_two_sorted");
+
+  const index_t step = std::max<index_t>(1, isqrt(n));
+
+  // Step 1: deterministic every-step-th sampling of both arrays (index 0
+  // included, so the sample is never empty on a non-empty array).
+  std::vector<index_t> a_samples;
+  std::vector<index_t> b_samples;
+  for (index_t i = 0; i * step < na; ++i) a_samples.push_back(i * step);
+  for (index_t i = 0; i * step < nb; ++i) b_samples.push_back(i * step);
+  GridArray<detail::SampleElem<T>> sample = detail::gather_indexed(
+      m, a, b, a_samples, b_samples, work_origin, nullptr);
+
+  // Step 2: All-Pairs Sort the sample.
+  GridArray<detail::SampleElem<T>> sorted =
+      allpairs_sort(m, sample, detail::SampleLess<Less>{less});
+
+  // Steps 3-4: pick the pivot and count its predecessors in A and B.
+  const index_t l = std::min((k - 1) / step, sorted.size());
+  index_t a_lo = 0;
+  index_t b_lo = 0;
+  Clock decision{};
+  if (l >= 1) {
+    const Cell<detail::SampleElem<T>>& pivot = sorted[l - 1];
+    const Coord pivot_at = sorted.coord(l - 1);
+    const auto ca = detail::count_leq(m, a, pivot.value.value, pivot.clock,
+                                      pivot_at, less);
+    const auto cb = detail::count_leq(m, b, pivot.value.value, pivot.clock,
+                                      pivot_at, less);
+    a_lo = ca.count;
+    b_lo = cb.count;
+    decision = Clock::join(ca.clock, cb.clock);
+    assert(a_lo + b_lo <= k - 1);  // rank(pivot) <= k - 1 (Lemma V.6)
+  }
+  // rank(pivot) = a_lo + b_lo <= k - 1; with l samples at or below the
+  // pivot the rank is at least (l-2)*step + 2, so the target lies within
+  // the next <= 3*step elements of each array. (The paper states 2*sqrt(n)
+  // for the case where both arrays contribute samples below the pivot; one
+  // extra step covers the one-sided case, with the same asymptotics.)
+  const index_t remaining = k - a_lo - b_lo;
+  assert(remaining >= 1 && remaining <= 3 * step);
+
+  // Step 5: narrow windows and find the rank-(remaining) element. The
+  // rank-r element of two sorted suffixes lies within the first r of each,
+  // so the windows are `remaining` (<= 3*step = O(sqrt n)) wide.
+  const index_t wa = std::min(na - a_lo, remaining);
+  const index_t wb = std::min(nb - b_lo, remaining);
+  std::vector<index_t> a_window(static_cast<size_t>(wa));
+  std::vector<index_t> b_window(static_cast<size_t>(wb));
+  for (index_t i = 0; i < wa; ++i) {
+    a_window[static_cast<size_t>(i)] = a_lo + i;
+  }
+  for (index_t i = 0; i < wb; ++i) {
+    b_window[static_cast<size_t>(i)] = b_lo + i;
+  }
+  GridArray<detail::SampleElem<T>> window = detail::gather_indexed(
+      m, a, b, a_window, b_window, work_origin, l >= 1 ? &decision : nullptr);
+  GridArray<detail::SampleElem<T>> window_sorted =
+      allpairs_sort(m, window, detail::SampleLess<Less>{less});
+  assert(remaining <= window_sorted.size());
+
+  // Count how many of the `remaining` smallest window elements come from A;
+  // deliver the decision to the work origin.
+  index_t extra_a = 0;
+  Clock result_clock{};
+  for (index_t i = 0; i < remaining; ++i) {
+    if (window_sorted[i].value.src == 0) ++extra_a;
+    result_clock = Clock::join(result_clock, window_sorted[i].clock);
+  }
+  m.op(remaining);
+  result_clock =
+      m.send(window_sorted.coord(remaining - 1), work_origin, result_clock);
+
+  SplitResult result{a_lo + extra_a, k - (a_lo + extra_a), result_clock};
+  assert(result.a_count >= 0 && result.a_count <= na);
+  assert(result.b_count >= 0 && result.b_count <= nb);
+  return result;
+}
+
+}  // namespace scm

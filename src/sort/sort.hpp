@@ -1,0 +1,38 @@
+// Umbrella header for the sorting algorithms of Section V.
+//
+//   * mergesort2d — the energy-optimal sort (Theorem V.8): O(n^{3/2})
+//                   energy, O(log^3 n) depth, O(sqrt n) distance;
+//   * bitonic     — the sorting-network alternative (Lemma V.4): lower
+//                   depth (O(log^2 n)) but a log factor more energy;
+//   * allpairs    — the O(log n)-depth auxiliary sort (Lemma V.5) for
+//                   sqrt(n)-sized working sets;
+//   * merge2d / rank_select_two_sorted — the merge machinery (Lemmas
+//                   V.6-V.7);
+//   * permute     — direct permutation routing and the Omega(n^{3/2})
+//                   lower-bound witness (Lemma V.1).
+#pragma once
+
+#include "sort/allpairs.hpp"     // IWYU pragma: export
+#include "sort/bitonic.hpp"      // IWYU pragma: export
+#include "sort/keyed.hpp"        // IWYU pragma: export
+#include "sort/merge2d.hpp"      // IWYU pragma: export
+#include "sort/mergesort2d.hpp"  // IWYU pragma: export
+#include "sort/permute.hpp"      // IWYU pragma: export
+#include "sort/rank_select_sorted.hpp"  // IWYU pragma: export
+
+namespace scm {
+
+/// Stable bitonic sort of an arbitrary-size array: tags elements with ids
+/// and runs the padded bitonic network under the induced total order.
+/// Returns the sorted array in the input's layout. Lemma V.4 costs.
+template <class T, class Less = std::less<T>>
+[[nodiscard]] GridArray<T> bitonic_sort_stable(Machine& m,
+                                               const GridArray<T>& input,
+                                               Less less = Less{}) {
+  GridArray<WithId<T>> tagged = attach_ids(m, input);
+  GridArray<WithId<T>> sorted =
+      bitonic_sort_any(m, tagged, TotalLess<Less>{less});
+  return detach_ids(m, sorted);
+}
+
+}  // namespace scm

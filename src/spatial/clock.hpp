@@ -1,0 +1,47 @@
+// Critical-path clocks for the Spatial Computer Model cost semantics.
+//
+// Every value held by a processor carries a Clock recording the longest
+// chain of dependent messages that produced it:
+//   * depth    — the number of messages along that chain (paper: "depth");
+//   * distance — the total Manhattan distance along that chain (paper:
+//                "distance", the wire latency of the chain).
+//
+// Receiving a message of Manhattan length d that carries a value with clock
+// (depth, distance) yields a value with clock (depth + 1, distance + d).
+// Combining several values locally (free in the model) joins their clocks
+// component-wise with max, since the result depends on all of them.
+#pragma once
+
+#include "spatial/geometry.hpp"
+
+#include <algorithm>
+#include <initializer_list>
+
+namespace scm {
+
+/// (depth, distance) critical-path clock attached to every value.
+struct Clock {
+  index_t depth{0};
+  index_t distance{0};
+
+  friend bool operator==(const Clock&, const Clock&) = default;
+
+  /// Component-wise max: the clock of a value computed from both inputs.
+  [[nodiscard]] static Clock join(Clock a, Clock b) {
+    return Clock{std::max(a.depth, b.depth), std::max(a.distance, b.distance)};
+  }
+
+  /// Join of an arbitrary number of input clocks.
+  [[nodiscard]] static Clock join(std::initializer_list<Clock> clocks) {
+    Clock out{};
+    for (const Clock& c : clocks) out = join(out, c);
+    return out;
+  }
+
+  /// Clock after travelling one message of Manhattan length `dist`.
+  [[nodiscard]] Clock after_hop(index_t dist) const {
+    return Clock{depth + 1, distance + dist};
+  }
+};
+
+}  // namespace scm

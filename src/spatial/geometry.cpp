@@ -1,0 +1,70 @@
+#include "spatial/geometry.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace scm {
+
+Coord Rect::at(index_t dr, index_t dc) const {
+  assert(dr >= 0 && dr < rows && dc >= 0 && dc < cols);
+  return {row0 + dr, col0 + dc};
+}
+
+bool Rect::intersects(const Rect& o) const {
+  const bool row_disjoint = row0 + rows <= o.row0 || o.row0 + o.rows <= row0;
+  const bool col_disjoint = col0 + cols <= o.col0 || o.col0 + o.cols <= col0;
+  return !(row_disjoint || col_disjoint);
+}
+
+Rect Rect::quadrant(int i) const {
+  assert(i >= 0 && i < 4);
+  assert(rows % 2 == 0 && cols % 2 == 0);
+  const index_t hr = rows / 2;
+  const index_t hc = cols / 2;
+  const index_t dr = (i / 2) * hr;
+  const index_t dc = (i % 2) * hc;
+  return Rect{row0 + dr, col0 + dc, hr, hc};
+}
+
+std::string Rect::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, Coord c) {
+  return os << "(" << c.row << "," << c.col << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[" << r.row0 << "," << r.col0 << " " << r.rows << "x" << r.cols
+            << "]";
+}
+
+index_t ceil_pow2(index_t v) {
+  assert(v >= 1);
+  index_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+index_t isqrt(index_t v) {
+  assert(v >= 0);
+  if (v < 2) return v;
+  index_t s = static_cast<index_t>(std::sqrt(static_cast<double>(v)));
+  while (s > 0 && s * s > v) --s;
+  while ((s + 1) * (s + 1) <= v) ++s;
+  return s;
+}
+
+index_t square_side_for(index_t n) {
+  assert(n >= 0);
+  if (n <= 1) return 1;
+  index_t side = 1;
+  while (side * side < n) side <<= 1;
+  return side;
+}
+
+}  // namespace scm

@@ -1,0 +1,158 @@
+// Arrays distributed over a processor subgrid, one element per processor.
+//
+// The paper's algorithms operate on arrays stored on rectangular subgrids
+// in one of two element orders:
+//   * RowMajor — the i-th element lives at (i / cols, i % cols);
+//   * ZOrder   — the i-th element lives at the i-th position of the Morton
+//                curve of a square power-of-two subgrid (Section III).
+//
+// Each element carries its critical-path Clock; moving elements between
+// arrays (or within one) goes through Machine::send so costs are charged.
+#pragma once
+
+#include "spatial/clock.hpp"
+#include "spatial/geometry.hpp"
+#include "spatial/machine.hpp"
+#include "spatial/zorder.hpp"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace scm {
+
+/// Element order of a GridArray on its subgrid.
+enum class Layout { kRowMajor, kZOrder };
+
+/// A value held by one processor together with its critical-path clock.
+template <class T>
+struct Cell {
+  T value{};
+  Clock clock{};
+};
+
+/// An n-element array distributed over a processor subgrid, one element per
+/// processor, in the given layout order. `n` may be smaller than the
+/// subgrid (trailing processors hold no element), and the array may start
+/// at a non-zero offset of the layout order: element i lives at layout
+/// position offset + i of the region. Offset ranges of a common parent
+/// square's Z-order are how the 2-D merge recursion (Section V-C) addresses
+/// its quadrant sub-ranges.
+template <class T>
+class GridArray {
+ public:
+  /// An empty array of `n` default-constructed elements on `region`.
+  GridArray(Rect region, Layout layout, index_t n, index_t offset = 0)
+      : region_(region),
+        layout_(layout),
+        offset_(offset),
+        cells_(static_cast<size_t>(n)) {
+    assert(n >= 0 && offset >= 0 && offset + n <= region.size());
+    assert(layout != Layout::kZOrder ||
+           (region.square() && is_pow2(region.rows)));
+  }
+
+  /// The canonical array for `n` elements: a sqrt(n) x sqrt(n) (rounded up
+  /// to a power of two) square at `origin` in the given layout.
+  static GridArray on_square(Coord origin, index_t n,
+                             Layout layout = Layout::kZOrder) {
+    return GridArray(square_at(origin, square_side_for(n)), layout, n);
+  }
+
+  /// Builds an array from host values with zero clocks (the values are the
+  /// algorithm's input, already resident at their processors).
+  static GridArray from_values(Rect region, Layout layout,
+                               const std::vector<T>& values) {
+    GridArray out(region, layout, static_cast<index_t>(values.size()));
+    for (size_t i = 0; i < values.size(); ++i) out.cells_[i].value = values[i];
+    return out;
+  }
+
+  /// As from_values, on the canonical square subgrid at `origin`.
+  static GridArray from_values_square(Coord origin,
+                                      const std::vector<T>& values,
+                                      Layout layout = Layout::kZOrder) {
+    GridArray out =
+        on_square(origin, static_cast<index_t>(values.size()), layout);
+    for (size_t i = 0; i < values.size(); ++i) out.cells_[i].value = values[i];
+    return out;
+  }
+
+  [[nodiscard]] index_t size() const {
+    return static_cast<index_t>(cells_.size());
+  }
+  [[nodiscard]] bool empty() const { return cells_.empty(); }
+  [[nodiscard]] const Rect& region() const { return region_; }
+  [[nodiscard]] Layout layout() const { return layout_; }
+
+  /// Layout position of element 0 within the region's traversal order.
+  [[nodiscard]] index_t offset() const { return offset_; }
+
+  /// Coordinate of the processor holding element i.
+  [[nodiscard]] Coord coord(index_t i) const {
+    assert(i >= 0 && i < size());
+    const index_t pos = offset_ + i;
+    if (layout_ == Layout::kRowMajor) {
+      return region_.at(pos / region_.cols, pos % region_.cols);
+    }
+    return zorder_coord(region_, pos);
+  }
+
+  [[nodiscard]] Cell<T>& operator[](index_t i) {
+    assert(i >= 0 && i < size());
+    return cells_[static_cast<size_t>(i)];
+  }
+  [[nodiscard]] const Cell<T>& operator[](index_t i) const {
+    assert(i >= 0 && i < size());
+    return cells_[static_cast<size_t>(i)];
+  }
+
+  /// Host-side copy of the element values (for verification / output).
+  [[nodiscard]] std::vector<T> values() const {
+    std::vector<T> out;
+    out.reserve(cells_.size());
+    for (const Cell<T>& c : cells_) out.push_back(c.value);
+    return out;
+  }
+
+  /// Largest clock over all elements (the array's readiness time).
+  [[nodiscard]] Clock max_clock() const {
+    Clock c{};
+    for (const Cell<T>& cell : cells_) c = Clock::join(c, cell.clock);
+    return c;
+  }
+
+ private:
+  Rect region_;
+  Layout layout_;
+  index_t offset_{0};
+  std::vector<Cell<T>> cells_;
+};
+
+/// Sends element `i` of `src` to slot `j` of `dst`, charging the message
+/// and propagating the clock. Source and destination may be the same array.
+template <class T>
+void send_element(Machine& m, const GridArray<T>& src, index_t i,
+                  GridArray<T>& dst, index_t j) {
+  const Cell<T>& from = src[i];
+  dst[j] = Cell<T>{from.value, m.send(src.coord(i), dst.coord(j), from.clock)};
+}
+
+/// Routes every element of `src` directly to its position in a fresh array
+/// with the given region/layout (a direct permutation: one message per
+/// element, as used for the Z-order -> row-major step of the 2-D merge).
+/// `perm[i]` gives the destination index of source element i; pass an
+/// identity-sized empty vector for the identity routing.
+template <class T>
+GridArray<T> route_permutation(Machine& m, const GridArray<T>& src,
+                               Rect dst_region, Layout dst_layout,
+                               const std::vector<index_t>& perm = {}) {
+  GridArray<T> dst(dst_region, dst_layout, src.size());
+  for (index_t i = 0; i < src.size(); ++i) {
+    const index_t j = perm.empty() ? i : perm[static_cast<size_t>(i)];
+    send_element(m, src, i, dst, j);
+  }
+  return dst;
+}
+
+}  // namespace scm

@@ -1,0 +1,84 @@
+#include "spatial/machine.hpp"
+
+#include "spatial/trace.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace scm {
+
+Clock Machine::send(Coord from, Coord to, Clock payload) {
+  const index_t dist = manhattan(from, to);
+  if (dist == 0) return payload;
+  const Clock arrival = payload.after_hop(dist);
+  charge(dist, 1);
+  observe(arrival);
+  if (trace_ != nullptr) trace_->on_message(from, to, dist);
+  return arrival;
+}
+
+namespace {
+
+// Recursive algorithms stack the same phase name repeatedly; costs must be
+// attributed to each distinct name once.
+bool first_occurrence(const std::vector<std::string>& stack, size_t i) {
+  for (size_t j = 0; j < i; ++j) {
+    if (stack[j] == stack[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Machine::op(index_t n) {
+  assert(n >= 0);
+  totals_.local_ops += n;
+  for (size_t i = 0; i < phase_stack_.size(); ++i) {
+    if (first_occurrence(phase_stack_, i)) {
+      phase_totals_[phase_stack_[i]].local_ops += n;
+    }
+  }
+}
+
+void Machine::observe(Clock c) {
+  totals_.max_clock = Clock::join(totals_.max_clock, c);
+  for (size_t i = 0; i < phase_stack_.size(); ++i) {
+    if (first_occurrence(phase_stack_, i)) {
+      Metrics& pm = phase_totals_[phase_stack_[i]];
+      pm.max_clock = Clock::join(pm.max_clock, c);
+    }
+  }
+}
+
+void Machine::reset() {
+  totals_ = Metrics{};
+  phase_totals_.clear();
+  // Phase stack intentionally survives a reset so a PhaseScope spanning the
+  // reset keeps attributing costs; resetting mid-scope is unusual but legal.
+}
+
+Metrics Machine::phase(const std::string& name) const {
+  const auto it = phase_totals_.find(name);
+  return it == phase_totals_.end() ? Metrics{} : it->second;
+}
+
+void Machine::charge(index_t energy, index_t messages) {
+  assert(energy >= 0 && messages >= 0);
+  totals_.energy += energy;
+  totals_.messages += messages;
+  for (size_t i = 0; i < phase_stack_.size(); ++i) {
+    if (first_occurrence(phase_stack_, i)) {
+      Metrics& pm = phase_totals_[phase_stack_[i]];
+      pm.energy += energy;
+      pm.messages += messages;
+    }
+  }
+}
+
+Machine::PhaseScope::PhaseScope(Machine& m, std::string name) : machine_(m) {
+  machine_.phase_stack_.push_back(std::move(name));
+}
+
+Machine::PhaseScope::~PhaseScope() { machine_.phase_stack_.pop_back(); }
+
+}  // namespace scm

@@ -1,0 +1,94 @@
+// The Spatial Computer Model machine: an unbounded 2-D grid of processors
+// with O(1) local memory, where sending a message costs its Manhattan
+// distance (Section III of the paper).
+//
+// The Machine is a *cost-exact simulator*: algorithms execute host-side but
+// every inter-processor message is charged through Machine::send, which
+//   * adds the Manhattan distance to the global energy counter,
+//   * advances the value's critical-path clock by (1 message, d distance),
+//   * records the running maximum clock (= the computation's depth and
+//     distance).
+// Local computation joins input clocks (Clock::join) and is charged only to
+// the informational local_ops counter, matching the model in which only
+// messages cost energy/depth/distance.
+//
+// Named phases give per-stage cost breakdowns for benchmarks and ablations.
+#pragma once
+
+#include "spatial/clock.hpp"
+#include "spatial/geometry.hpp"
+#include "spatial/metrics.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scm {
+
+class TraceSink;
+
+/// Cost-accounting simulator of the Spatial Computer Model.
+class Machine {
+ public:
+  Machine() = default;
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Charges one message from `from` to `to` carrying a value whose
+  /// critical-path clock is `payload`; returns the clock of the value on
+  /// arrival. A zero-length send (from == to) is free: the model only
+  /// prices actual wire traversals, and "sending to yourself" is local.
+  Clock send(Coord from, Coord to, Clock payload);
+
+  /// Records `n` local compute operations (free in the model's metrics).
+  void op(index_t n = 1);
+
+  /// Records that a value with clock `c` now exists (used when a clock is
+  /// produced by pure local combination so the running maximum stays
+  /// correct even if the value is never sent again).
+  void observe(Clock c);
+
+  /// Costs accumulated since construction (or the last reset).
+  [[nodiscard]] const Metrics& metrics() const { return totals_; }
+
+  /// Clears all counters and per-phase records.
+  void reset();
+
+  /// Per-phase cost records, keyed by phase name. Nested phases accumulate
+  /// into every active scope, so "sort" includes its "sort/merge" children.
+  [[nodiscard]] const std::map<std::string, Metrics>& phases() const {
+    return phase_totals_;
+  }
+
+  /// Costs recorded under a phase name; zero metrics if never entered.
+  [[nodiscard]] Metrics phase(const std::string& name) const;
+
+  /// Attaches a message observer (e.g. a LoadMap building per-processor
+  /// congestion maps); pass nullptr to detach. Not owned. Zero-length
+  /// sends are free in the model and are not reported.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
+  /// RAII scope that attributes all costs charged during its lifetime to
+  /// `name` (in addition to any enclosing phases and the global totals).
+  class PhaseScope {
+   public:
+    PhaseScope(Machine& m, std::string name);
+    ~PhaseScope();
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+   private:
+    Machine& machine_;
+  };
+
+ private:
+  void charge(index_t energy, index_t messages);
+
+  Metrics totals_{};
+  std::vector<std::string> phase_stack_;
+  std::map<std::string, Metrics> phase_totals_;
+  TraceSink* trace_{nullptr};
+};
+
+}  // namespace scm

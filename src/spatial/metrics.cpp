@@ -1,0 +1,28 @@
+#include "spatial/metrics.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace scm {
+
+Metrics Metrics::since(const Metrics& earlier) const {
+  Metrics out = *this;
+  out.energy -= earlier.energy;
+  out.messages -= earlier.messages;
+  out.local_ops -= earlier.local_ops;
+  return out;
+}
+
+std::string Metrics::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Metrics& m) {
+  return os << "energy=" << m.energy << " messages=" << m.messages
+            << " ops=" << m.local_ops << " depth=" << m.depth()
+            << " distance=" << m.distance();
+}
+
+}  // namespace scm

@@ -1,0 +1,49 @@
+// Aggregate cost metrics of a Spatial Computer Model execution.
+//
+// The Machine accumulates these as algorithms run:
+//   * energy    — sum over all sent messages of their Manhattan distance
+//                 (paper: the total load on the communication network);
+//   * messages  — number of messages sent;
+//   * local_ops — local compute operations (free in the model's cost
+//                 metrics but tracked as a sanity measure of work);
+//   * max_clock — the largest (depth, distance) clock of any value produced
+//                 so far, i.e. the depth and distance of the computation.
+#pragma once
+
+#include "spatial/clock.hpp"
+#include "spatial/geometry.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace scm {
+
+/// Snapshot of accumulated costs. Differences of snapshots give the cost of
+/// a program region; Machine::PhaseScope automates this.
+struct Metrics {
+  index_t energy{0};
+  index_t messages{0};
+  index_t local_ops{0};
+  Clock max_clock{};
+
+  /// Depth of the computation so far (longest dependent message chain).
+  [[nodiscard]] index_t depth() const { return max_clock.depth; }
+
+  /// Distance of the computation so far (largest total Manhattan distance
+  /// along any dependent message chain).
+  [[nodiscard]] index_t distance() const { return max_clock.distance; }
+
+  friend bool operator==(const Metrics&, const Metrics&) = default;
+
+  /// Cost accumulated between snapshot `earlier` and this snapshot. Energy,
+  /// messages, and ops subtract; the clock maxima are kept from the later
+  /// snapshot (clocks are global maxima, not per-phase differences).
+  [[nodiscard]] Metrics since(const Metrics& earlier) const;
+
+  /// One-line human-readable summary.
+  [[nodiscard]] std::string str() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Metrics& m);
+
+}  // namespace scm

@@ -1,0 +1,41 @@
+// Deterministic pseudo-randomness for the library and its tests/benches.
+//
+// Random choices in the paper's algorithms (the Bernoulli sampling of
+// Section VI) are local, cost-free decisions; we draw them from an explicit
+// seeded engine so every run is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace scm {
+
+/// Mersenne Twister engine seeded deterministically.
+[[nodiscard]] inline std::mt19937_64 make_rng(std::uint64_t seed) {
+  return std::mt19937_64{seed};
+}
+
+/// `n` doubles uniform in [lo, hi).
+[[nodiscard]] inline std::vector<double> random_doubles(std::uint64_t seed,
+                                                        std::size_t n,
+                                                        double lo = 0.0,
+                                                        double hi = 1.0) {
+  std::mt19937_64 rng = make_rng(seed);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  std::vector<double> out(n);
+  for (double& v : out) v = dist(rng);
+  return out;
+}
+
+/// `n` int64s uniform in [lo, hi].
+[[nodiscard]] inline std::vector<std::int64_t> random_ints(
+    std::uint64_t seed, std::size_t n, std::int64_t lo, std::int64_t hi) {
+  std::mt19937_64 rng = make_rng(seed);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  std::vector<std::int64_t> out(n);
+  for (std::int64_t& v : out) v = dist(rng);
+  return out;
+}
+
+}  // namespace scm

@@ -1,0 +1,88 @@
+// Network-load tracing for the Spatial Computer Model.
+//
+// Energy is the paper's proxy for total network load; this module makes
+// the load *distribution* observable. A TraceSink attached to a Machine
+// receives every charged message; the LoadMap sink routes each message
+// along the dimension-ordered (row-first) Manhattan path and counts the
+// traffic through every processor, giving per-PE congestion maps, hotspot
+// lists, and an ASCII heatmap — the tooling behind the
+// example_traffic_heatmap demo comparing the Z-order scan's balanced load
+// against the 1-D tree scan's hotspots.
+#pragma once
+
+#include "spatial/geometry.hpp"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace scm {
+
+/// Observer of charged messages. Attach with Machine::set_trace.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Called once per charged message (zero-length sends are free and not
+  /// reported).
+  virtual void on_message(Coord from, Coord to, index_t distance) = 0;
+};
+
+/// Accumulates per-processor traffic by routing every message along the
+/// dimension-ordered Manhattan path (rows first, then columns), counting
+/// one unit of load at every processor the message transits (endpoints
+/// included).
+class LoadMap final : public TraceSink {
+ public:
+  void on_message(Coord from, Coord to, index_t distance) override;
+
+  /// Traffic units that passed through processor `c`.
+  [[nodiscard]] index_t load_at(Coord c) const;
+
+  /// Total traffic (= sum of per-processor loads).
+  [[nodiscard]] index_t total_load() const { return total_; }
+
+  /// Number of messages observed.
+  [[nodiscard]] index_t messages() const { return messages_; }
+
+  /// Largest per-processor load (the congestion bottleneck).
+  [[nodiscard]] index_t max_load() const { return max_load_; }
+
+  /// The `k` most-loaded processors, descending.
+  [[nodiscard]] std::vector<std::pair<Coord, index_t>> hotspots(
+      std::size_t k) const;
+
+  /// Coefficient of variation of the load over the touched processors —
+  /// 0 means perfectly balanced traffic.
+  [[nodiscard]] double imbalance() const;
+
+  /// Renders an ASCII heatmap of the touched bounding box, downsampled to
+  /// at most `max_side` characters per side. Levels " .:-=+*#%@" scale
+  /// linearly with the bucket's maximum load.
+  [[nodiscard]] std::string heatmap(index_t max_side = 32) const;
+
+  void clear();
+
+ private:
+  struct CoordHash {
+    std::size_t operator()(const std::pair<index_t, index_t>& p) const {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(p.first) << 32) ^
+          static_cast<std::uint64_t>(p.second & 0xffffffff));
+    }
+  };
+
+  void bump(Coord c);
+
+  std::unordered_map<std::pair<index_t, index_t>, index_t, CoordHash> load_;
+  index_t total_{0};
+  index_t messages_{0};
+  index_t max_load_{0};
+  index_t min_row_{0};
+  index_t max_row_{-1};
+  index_t min_col_{0};
+  index_t max_col_{-1};
+};
+
+}  // namespace scm

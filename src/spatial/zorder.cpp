@@ -1,0 +1,72 @@
+#include "spatial/zorder.hpp"
+
+#include <cassert>
+
+namespace scm {
+
+namespace {
+
+// Spreads the low 32 bits of v so that bit i moves to bit 2i.
+std::uint64_t spread_bits(std::uint64_t v) {
+  v &= 0xffffffffULL;
+  v = (v | (v << 16)) & 0x0000ffff0000ffffULL;
+  v = (v | (v << 8)) & 0x00ff00ff00ff00ffULL;
+  v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  v = (v | (v << 2)) & 0x3333333333333333ULL;
+  v = (v | (v << 1)) & 0x5555555555555555ULL;
+  return v;
+}
+
+// Inverse of spread_bits: gathers every second bit back together.
+std::uint64_t gather_bits(std::uint64_t v) {
+  v &= 0x5555555555555555ULL;
+  v = (v | (v >> 1)) & 0x3333333333333333ULL;
+  v = (v | (v >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+  v = (v | (v >> 4)) & 0x00ff00ff00ff00ffULL;
+  v = (v | (v >> 8)) & 0x0000ffff0000ffffULL;
+  v = (v | (v >> 16)) & 0x00000000ffffffffULL;
+  return v;
+}
+
+}  // namespace
+
+index_t zorder_encode(index_t row, index_t col) {
+  assert(row >= 0 && col >= 0);
+  const auto r = static_cast<std::uint64_t>(row);
+  const auto c = static_cast<std::uint64_t>(col);
+  return static_cast<index_t>((spread_bits(r) << 1) | spread_bits(c));
+}
+
+Offset2D zorder_decode(index_t z) {
+  assert(z >= 0);
+  const auto v = static_cast<std::uint64_t>(z);
+  return Offset2D{static_cast<index_t>(gather_bits(v >> 1)),
+                  static_cast<index_t>(gather_bits(v))};
+}
+
+Coord zorder_coord(const Rect& rect, index_t i) {
+  assert(rect.square() && is_pow2(rect.rows));
+  assert(i >= 0 && i < rect.size());
+  const Offset2D off = zorder_decode(i);
+  return rect.at(off.row, off.col);
+}
+
+index_t zorder_index(const Rect& rect, Coord c) {
+  assert(rect.square() && is_pow2(rect.rows));
+  assert(rect.contains(c));
+  return zorder_encode(c.row - rect.row0, c.col - rect.col0);
+}
+
+index_t zorder_curve_length(index_t side) {
+  assert(is_pow2(side));
+  index_t total = 0;
+  Offset2D prev{0, 0};
+  for (index_t i = 1; i < side * side; ++i) {
+    const Offset2D cur = zorder_decode(i);
+    total += std::abs(cur.row - prev.row) + std::abs(cur.col - prev.col);
+    prev = cur;
+  }
+  return total;
+}
+
+}  // namespace scm

@@ -1,0 +1,43 @@
+// The Z-order (Morton) space-filling curve of Section III.
+//
+// The paper defines it recursively: traverse the four quadrants of a square
+// grid in order — top two quadrants first, left to right, then the bottom
+// two, left to right. Equivalently, the Z-index interleaves the bits of the
+// (row, col) offset with row bits in the more significant positions.
+//
+// Observation 1 (paper): sending one message along each consecutive edge of
+// the Z-order traversal of a sqrt(n) x sqrt(n) subgrid costs O(n) energy.
+// Benchmarked by bench/bench_zorder_curve.
+#pragma once
+
+#include "spatial/geometry.hpp"
+
+namespace scm {
+
+/// Interleaves the bits of (row, col) into the Z-order index. The curve
+/// visits (0,0), (0,1), (1,0), (1,1), then recursively each quadrant, so
+/// row bits occupy the odd (more significant of each pair) positions.
+[[nodiscard]] index_t zorder_encode(index_t row, index_t col);
+
+/// Offset of the i-th processor along the Z-order curve; inverse of
+/// zorder_encode.
+struct Offset2D {
+  index_t row{0};
+  index_t col{0};
+  friend bool operator==(const Offset2D&, const Offset2D&) = default;
+};
+[[nodiscard]] Offset2D zorder_decode(index_t z);
+
+/// Coordinate of the i-th processor of a square power-of-two rect in
+/// Z-order (i in [0, rect.size())).
+[[nodiscard]] Coord zorder_coord(const Rect& rect, index_t i);
+
+/// Z-order index of coordinate `c` within the square power-of-two rect.
+[[nodiscard]] index_t zorder_index(const Rect& rect, Coord c);
+
+/// Total Manhattan length of the Z-order traversal of a side x side grid
+/// (the sum over consecutive curve positions of their distance). This is
+/// the energy of Observation 1 and is Theta(side^2).
+[[nodiscard]] index_t zorder_curve_length(index_t side);
+
+}  // namespace scm

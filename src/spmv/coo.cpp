@@ -1,0 +1,43 @@
+#include "spmv/coo.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scm {
+
+void CooMatrix::add(index_t row, index_t col, double value) {
+  assert(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+  entries_.push_back(Triple{row, col, value});
+}
+
+bool CooMatrix::valid() const {
+  for (const Triple& t : entries_) {
+    if (t.row < 0 || t.row >= rows_ || t.col < 0 || t.col >= cols_) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CooMatrix CooMatrix::sorted_by_row() const {
+  CooMatrix out(rows_, cols_);
+  out.entries_ = entries_;
+  std::stable_sort(out.entries_.begin(), out.entries_.end(),
+                   [](const Triple& a, const Triple& b) {
+                     if (a.row != b.row) return a.row < b.row;
+                     return a.col < b.col;
+                   });
+  return out;
+}
+
+std::vector<double> CooMatrix::multiply_reference(
+    const std::vector<double>& x) const {
+  assert(static_cast<index_t>(x.size()) == cols_);
+  std::vector<double> y(static_cast<size_t>(rows_), 0.0);
+  for (const Triple& t : entries_) {
+    y[static_cast<size_t>(t.row)] += t.value * x[static_cast<size_t>(t.col)];
+  }
+  return y;
+}
+
+}  // namespace scm

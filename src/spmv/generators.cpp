@@ -1,0 +1,87 @@
+#include "spmv/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <random>
+
+namespace scm {
+
+CooMatrix random_uniform_matrix(index_t n, index_t nnz, std::uint64_t seed) {
+  assert(n >= 1 && nnz >= 0);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<index_t> coord(0, n - 1);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  CooMatrix a(n, n);
+  for (index_t e = 0; e < nnz; ++e) a.add(coord(rng), coord(rng), val(rng));
+  return a;
+}
+
+CooMatrix diagonal_matrix(const std::vector<double>& diag) {
+  const auto n = static_cast<index_t>(diag.size());
+  CooMatrix a(n, n);
+  for (index_t i = 0; i < n; ++i) a.add(i, i, diag[static_cast<size_t>(i)]);
+  return a;
+}
+
+CooMatrix banded_matrix(index_t n, index_t band, std::uint64_t seed) {
+  assert(n >= 1 && band >= 0);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  CooMatrix a(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t lo = std::max<index_t>(0, i - band);
+    const index_t hi = std::min<index_t>(n - 1, i + band);
+    for (index_t j = lo; j <= hi; ++j) a.add(i, j, val(rng));
+  }
+  return a;
+}
+
+CooMatrix power_law_matrix(index_t n, index_t max_degree, double alpha,
+                           std::uint64_t seed) {
+  assert(n >= 1 && max_degree >= 1);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<index_t> coord(0, n - 1);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  std::vector<index_t> row_of(static_cast<size_t>(n));
+  std::iota(row_of.begin(), row_of.end(), index_t{0});
+  std::shuffle(row_of.begin(), row_of.end(), rng);
+  CooMatrix a(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    const double want = static_cast<double>(max_degree) /
+                        std::pow(static_cast<double>(i + 1), alpha);
+    const auto deg = std::max<index_t>(1, static_cast<index_t>(want));
+    for (index_t d = 0; d < deg; ++d) {
+      a.add(row_of[static_cast<size_t>(i)], coord(rng), val(rng));
+    }
+  }
+  return a;
+}
+
+CooMatrix permutation_matrix(const std::vector<index_t>& perm) {
+  const auto n = static_cast<index_t>(perm.size());
+  CooMatrix a(n, n);
+  for (index_t i = 0; i < n; ++i) a.add(i, perm[static_cast<size_t>(i)], 1.0);
+  return a;
+}
+
+CooMatrix poisson2d_matrix(index_t grid_side) {
+  assert(grid_side >= 1);
+  const index_t n = grid_side * grid_side;
+  CooMatrix a(n, n);
+  auto id = [&](index_t r, index_t c) { return r * grid_side + c; };
+  for (index_t r = 0; r < grid_side; ++r) {
+    for (index_t c = 0; c < grid_side; ++c) {
+      const index_t u = id(r, c);
+      a.add(u, u, 4.0);
+      if (r > 0) a.add(u, id(r - 1, c), -1.0);
+      if (r + 1 < grid_side) a.add(u, id(r + 1, c), -1.0);
+      if (c > 0) a.add(u, id(r, c - 1), -1.0);
+      if (c + 1 < grid_side) a.add(u, id(r, c + 1), -1.0);
+    }
+  }
+  return a;
+}
+
+}  // namespace scm

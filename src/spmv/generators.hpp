@@ -1,0 +1,44 @@
+// Sparse matrix workload generators for the examples, tests, and the
+// Table I SpMV benchmark. The paper motivates SpMV with scientific
+// computing (stencil/banded systems, conjugate gradients) and graph
+// workloads (power-law adjacency structure); the generators cover those
+// regimes plus the permutation matrices of the energy lower bound
+// (Lemma VIII.1).
+#pragma once
+
+#include "spmv/coo.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace scm {
+
+/// `nnz` entries at uniformly random coordinates (duplicates allowed, they
+/// act additively) with values uniform in [-1, 1).
+[[nodiscard]] CooMatrix random_uniform_matrix(index_t n, index_t nnz,
+                                              std::uint64_t seed);
+
+/// The identity-pattern diagonal matrix with the given diagonal values.
+[[nodiscard]] CooMatrix diagonal_matrix(const std::vector<double>& diag);
+
+/// A banded matrix with the given half-bandwidth (entries on all diagonals
+/// |i - j| <= band), values uniform in [-1, 1).
+[[nodiscard]] CooMatrix banded_matrix(index_t n, index_t band,
+                                      std::uint64_t seed);
+
+/// A power-law row-degree matrix (graph-like): row i receives about
+/// max_degree / (i + 1)^alpha entries at random columns. Rows are then
+/// shuffled so the heavy rows are not clustered.
+[[nodiscard]] CooMatrix power_law_matrix(index_t n, index_t max_degree,
+                                         double alpha, std::uint64_t seed);
+
+/// The permutation matrix P with P x = x permuted by `perm` (perm[i] is
+/// the source index of output i). Used by the SpMV lower-bound argument.
+[[nodiscard]] CooMatrix permutation_matrix(const std::vector<index_t>& perm);
+
+/// The 5-point 2-D Poisson stencil on a grid_side x grid_side domain
+/// (n = grid_side^2 unknowns): 4 on the diagonal, -1 to each neighbour.
+/// Symmetric positive definite — the conjugate-gradient example's system.
+[[nodiscard]] CooMatrix poisson2d_matrix(index_t grid_side);
+
+}  // namespace scm

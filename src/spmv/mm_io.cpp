@@ -1,0 +1,98 @@
+#include "spmv/mm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace scm {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("matrix market: " + what);
+}
+
+}  // namespace
+
+CooMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) fail("empty input");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") fail("missing %%MatrixMarket banner");
+  if (lower(object) != "matrix") fail("unsupported object '" + object + "'");
+  if (lower(format) != "coordinate") {
+    fail("unsupported format '" + format + "' (only coordinate)");
+  }
+  field = lower(field);
+  symmetry = lower(symmetry);
+  const bool pattern = field == "pattern";
+  if (!pattern && field != "real" && field != "integer") {
+    fail("unsupported field '" + field + "'");
+  }
+  const bool symmetric =
+      symmetry == "symmetric" || symmetry == "skew-symmetric";
+  const bool skew = symmetry == "skew-symmetric";
+  if (!symmetric && symmetry != "general") {
+    fail("unsupported symmetry '" + symmetry + "'");
+  }
+
+  // Skip comments, read the size line.
+  index_t rows = 0, cols = 0, nnz = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '%') continue;
+    std::istringstream sizes(line);
+    if (!(sizes >> rows >> cols >> nnz)) continue;  // blank line
+    break;
+  }
+  if (rows <= 0 || cols <= 0 || nnz < 0) fail("bad size line");
+
+  CooMatrix out(rows, cols);
+  for (index_t e = 0; e < nnz; ++e) {
+    index_t r = 0, c = 0;
+    double v = 1.0;
+    if (!(in >> r >> c)) fail("truncated entry list");
+    if (!pattern && !(in >> v)) fail("missing value");
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      fail("entry out of range at line " + std::to_string(e));
+    }
+    out.add(r - 1, c - 1, v);
+    if (symmetric && r != c) out.add(c - 1, r - 1, skew ? -v : v);
+  }
+  return out;
+}
+
+CooMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open '" + path + "'");
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CooMatrix& matrix) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by scm\n";
+  out << matrix.n_rows() << " " << matrix.n_cols() << " " << matrix.nnz()
+      << "\n";
+  out.precision(17);
+  for (const Triple& t : matrix.entries()) {
+    out << (t.row + 1) << " " << (t.col + 1) << " " << t.value << "\n";
+  }
+}
+
+void write_matrix_market_file(const std::string& path,
+                              const CooMatrix& matrix) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open '" + path + "' for writing");
+  write_matrix_market(out, matrix);
+}
+
+}  // namespace scm

@@ -1,0 +1,32 @@
+// Matrix Market (.mtx) I/O for COO matrices — the standard interchange
+// format for sparse-matrix workloads, so real matrices can be fed to the
+// SpMV benchmarks and examples.
+//
+// Supports the `matrix coordinate` format with `real`, `integer`, or
+// `pattern` fields and `general` or `symmetric` symmetry (symmetric
+// entries are expanded on read). Writes `matrix coordinate real general`.
+#pragma once
+
+#include "spmv/coo.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace scm {
+
+/// Parses a Matrix Market stream; throws std::runtime_error on malformed
+/// input or unsupported qualifiers (complex fields, array format).
+[[nodiscard]] CooMatrix read_matrix_market(std::istream& in);
+
+/// Reads a .mtx file; throws std::runtime_error if it cannot be opened.
+[[nodiscard]] CooMatrix read_matrix_market_file(const std::string& path);
+
+/// Writes `matrix coordinate real general` (1-based indices, as the
+/// format requires).
+void write_matrix_market(std::ostream& out, const CooMatrix& matrix);
+
+/// Writes a .mtx file; throws std::runtime_error if it cannot be opened.
+void write_matrix_market_file(const std::string& path,
+                              const CooMatrix& matrix);
+
+}  // namespace scm

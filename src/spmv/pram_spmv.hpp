@@ -1,0 +1,90 @@
+// The PRAM-simulation SpMV baseline of Section VIII ("PRAM Simulation
+// Upper Bound").
+//
+// A CRCW PRAM algorithm computes the partial products A_ij x_j in parallel
+// (the reads of x_j are concurrent) and then forms the row sums with a
+// Brent-scheduled work-efficient segmented scan: p = ceil(m / log2 m)
+// processors each handle a log2(m)-entry chunk sequentially, a
+// Hillis-Steele pass combines the chunk partials, and a fix-up pass
+// finishes the prefixes. T = O(log m) steps in total.
+//
+// Simulated with simulate_crcw (Lemma VII.2) this costs O(m^{3/2}) energy,
+// O(log^4 m) depth, and O(sqrt(m) log m) distance — the baseline the
+// direct SpMV of Theorem VIII.2 beats by a log factor in depth and
+// distance (bench/bench_spmv_vs_pram).
+#pragma once
+
+#include "pram/program.hpp"
+#include "spatial/machine.hpp"
+#include "spmv/coo.hpp"
+
+#include <vector>
+
+namespace scm {
+
+/// The Brent-scheduled CRCW SpMV program for a fixed matrix (entries must
+/// be sorted by row; addresses and segment boundaries are baked in at
+/// construction, which is what makes the program's control flow static).
+class BrentSpmvProgram : public pram::Program {
+ public:
+  /// `a` must be sorted by row (CooMatrix::sorted_by_row) and non-empty.
+  explicit BrentSpmvProgram(const CooMatrix& a);
+
+  [[nodiscard]] index_t num_processors() const override { return p_; }
+  [[nodiscard]] index_t num_cells() const override { return cells_; }
+  [[nodiscard]] index_t num_steps() const override { return steps_; }
+
+  [[nodiscard]] std::optional<index_t> read_request(
+      index_t t, index_t p, const pram::ProcessorState& state) const override;
+
+  std::optional<pram::WriteOp> execute(
+      index_t t, index_t p, pram::ProcessorState& state,
+      std::optional<pram::Word> read) const override;
+
+  /// Builds the initial memory image for input vector `x`: matrix values,
+  /// then x, then zeroed partials and output cells.
+  [[nodiscard]] std::vector<pram::Word> initial_memory(
+      const std::vector<double>& x) const;
+
+  /// Extracts y from a final memory image.
+  [[nodiscard]] std::vector<double> extract_result(
+      const std::vector<pram::Word>& memory) const;
+
+ private:
+  // Phase boundaries in step indices; see pram_spmv.cpp for the schedule.
+  struct Slot {
+    int phase;
+    index_t offset;
+  };
+  [[nodiscard]] Slot slot_of(index_t t) const;
+
+  index_t m_;        // non-zeros
+  index_t n_rows_;
+  index_t n_cols_;
+  index_t chunk_;    // L = chunk length ~ log2(m)
+  index_t p_;        // processors
+  index_t rounds_;   // Hillis-Steele rounds over the chunk partials
+  index_t steps_;
+  index_t cells_;
+  index_t x_base_;
+  index_t partial_base_;
+  index_t y_base_;
+
+  std::vector<index_t> col_;       // per entry: column index
+  std::vector<double> value_;      // per entry: matrix value
+  std::vector<index_t> row_;       // per entry: row index
+  std::vector<char> head_;         // per entry: first of its row segment
+  std::vector<char> row_end_;      // per entry: last of its row segment
+  std::vector<index_t> first_head_;  // per chunk: local offset of first
+                                     // head, or chunk length if none
+  std::vector<std::vector<char>> absorb_;  // [round][chunk]
+};
+
+/// Computes y = A x by running the Brent-scheduled program under the CRCW
+/// simulation. `a` may be in any entry order (it is row-sorted host-side,
+/// mirroring the paper's assumption that the PRAM input is pre-grouped).
+[[nodiscard]] std::vector<double> spmv_pram(Machine& machine,
+                                            const CooMatrix& a,
+                                            const std::vector<double>& x);
+
+}  // namespace scm

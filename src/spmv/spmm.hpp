@@ -1,0 +1,28 @@
+// Multi-vector SpMV (SpMM with a tall-skinny dense right-hand side) —
+// the "sparse matrix-multiple vectors" workload the paper cites for
+// scientific computing [Aktulga et al.], built as an extension of the
+// Section VIII pipeline.
+//
+// The two 2-D Mergesorts (by column, then by row) depend only on the
+// matrix structure, so they are paid ONCE; each right-hand-side vector
+// then reuses the sorted orders and the (static) by-column -> by-row
+// routing permutation, paying only fetch + segmented broadcast + multiply
+// + route + segmented sum. Since the sorts dominate the single-vector
+// constant, amortizing them across k vectors is a large constant-factor
+// win over k independent spmv() calls (measured by test_spmm).
+#pragma once
+
+#include "spatial/machine.hpp"
+#include "spmv/coo.hpp"
+
+#include <vector>
+
+namespace scm {
+
+/// Computes y_j = A x_j for every column x_j of `xs`. Equivalent to
+/// calling spmv() per vector but with the matrix sorts shared.
+[[nodiscard]] std::vector<std::vector<double>> spmv_multi(
+    Machine& machine, const CooMatrix& a,
+    const std::vector<std::vector<double>>& xs);
+
+}  // namespace scm

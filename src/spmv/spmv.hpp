@@ -1,0 +1,47 @@
+// Low-depth sparse matrix-vector multiplication (Section VIII,
+// Theorem VIII.2).
+//
+// The matrix's m non-zero triples start in arbitrary order on a
+// sqrt(m) x sqrt(m) subgrid; the vector x sits on an adjacent
+// sqrt(n) x sqrt(n) subgrid. The algorithm:
+//   1. sort the triples by column index (2-D Mergesort), grouping entries
+//      of the same column into contiguous segments;
+//   2. detect *column leaders* by a neighbour hand-off of column indices;
+//   3. each leader fetches x_j from the vector subgrid; a segmented
+//      broadcast (a segmented scan with the copy-first operator)
+//      distributes it along the segment;
+//   4. every entry computes its partial product A_ij * x_j locally;
+//   5. sort the partial products by row index;
+//   6. detect *row leaders*;
+//   7. a segmented (+)-scan sums each row; the row's total lands on its
+//      last entry and is handed to the row leader, which delivers
+//      (i, y_i) to the output subgrid.
+//
+// Costs (Theorem VIII.2): O(m^{3/2}) energy, O(log^3 n) depth, O(sqrt m)
+// distance — dominated by the two sorts and the scans. Rows with no
+// non-zeros produce y_i = 0 with no messages. The energy is optimal for
+// m = O(n) by the permutation lower bound (Lemma VIII.1).
+#pragma once
+
+#include "spatial/grid_array.hpp"
+#include "spatial/machine.hpp"
+#include "spmv/coo.hpp"
+
+#include <vector>
+
+namespace scm {
+
+/// Result of a spatial SpMV: the output vector y (host copy) plus the
+/// GridArray holding it on the output subgrid with per-entry clocks.
+struct SpmvResult {
+  std::vector<double> y;
+  GridArray<double> y_grid;
+};
+
+/// Computes y = A x with the sort-and-scan SpMV of Section VIII.
+/// The matrix subgrid sits at the origin, the vector subgrid to its right,
+/// and the output subgrid to the right of that.
+[[nodiscard]] SpmvResult spmv(Machine& machine, const CooMatrix& a,
+                              const std::vector<double>& x);
+
+}  // namespace scm

@@ -1,0 +1,29 @@
+// Minimal command-line flag parsing for the benchmark/example binaries:
+// `--name=value` or `--name value` pairs with typed lookups and defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace scm::util {
+
+/// Parsed command-line flags. Unknown positional arguments are ignored so
+/// the parser composes with google-benchmark's own flags.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace scm::util

@@ -1,0 +1,83 @@
+#include "util/fit.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace scm::util {
+
+namespace {
+
+PowerFit fit_loglog(const std::vector<double>& xs,
+                    const std::vector<double>& ys) {
+  assert(xs.size() == ys.size());
+  std::vector<double> lx;
+  std::vector<double> ly;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] > 0 && ys[i] > 0) {
+      lx.push_back(std::log(xs[i]));
+      ly.push_back(std::log(ys[i]));
+    }
+  }
+  PowerFit fit{};
+  const std::size_t k = lx.size();
+  if (k < 2) return fit;
+
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    sx += lx[i];
+    sy += ly[i];
+    sxx += lx[i] * lx[i];
+    sxy += lx[i] * ly[i];
+  }
+  const double dk = static_cast<double>(k);
+  const double denom = dk * sxx - sx * sx;
+  if (denom == 0) return fit;
+  fit.exponent = (dk * sxy - sx * sy) / denom;
+  fit.log_constant = (sy - fit.exponent * sx) / dk;
+
+  double ss_res = 0, ss_tot = 0;
+  const double mean_y = sy / dk;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double pred = fit.log_constant + fit.exponent * lx[i];
+    ss_res += (ly[i] - pred) * (ly[i] - pred);
+    ss_tot += (ly[i] - mean_y) * (ly[i] - mean_y);
+  }
+  fit.r2 = ss_tot == 0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace
+
+PowerFit fit_power_law(const std::vector<double>& n,
+                       const std::vector<double>& cost) {
+  return fit_loglog(n, cost);
+}
+
+PowerFit fit_polylog(const std::vector<double>& n,
+                     const std::vector<double>& cost) {
+  std::vector<double> logs;
+  logs.reserve(n.size());
+  for (double v : n) logs.push_back(v > 1 ? std::log2(v) : 0.0);
+  return fit_loglog(logs, cost);
+}
+
+bool exponent_matches(const PowerFit& fit, double expected, double tol) {
+  return std::abs(fit.exponent - expected) <= tol;
+}
+
+std::string describe_power(const PowerFit& fit) {
+  std::ostringstream os;
+  os.precision(3);
+  os << "n^" << fit.exponent << " (r2=" << fit.r2 << ")";
+  return os.str();
+}
+
+std::string describe_polylog(const PowerFit& fit) {
+  std::ostringstream os;
+  os.precision(3);
+  os << "(log n)^" << fit.exponent << " (r2=" << fit.r2 << ")";
+  return os.str();
+}
+
+}  // namespace scm::util

@@ -1,0 +1,43 @@
+// Growth-shape fitting for the benchmark harness.
+//
+// The paper's evaluation claims asymptotic shapes (Theta(n), Theta(n^{3/2}),
+// O(log^3 n), ...). We check them empirically by fitting measured cost
+// series against candidate models:
+//   * power laws  cost ~ C * n^alpha        (log-log least squares);
+//   * polylogs    cost ~ C * (log2 n)^beta  (log cost vs log log n).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace scm::util {
+
+/// Result of a least-squares fit of log(cost) against log(x): cost ~
+/// C * x^exponent with goodness-of-fit r2 in [0, 1].
+struct PowerFit {
+  double exponent{0.0};
+  double log_constant{0.0};
+  double r2{0.0};
+};
+
+/// Fits cost ~ C * n^alpha from matched (n, cost) series. Requires at least
+/// two points with positive n and cost.
+[[nodiscard]] PowerFit fit_power_law(const std::vector<double>& n,
+                                     const std::vector<double>& cost);
+
+/// Fits cost ~ C * (log2 n)^beta, the shape of poly-logarithmic depth
+/// bounds.
+[[nodiscard]] PowerFit fit_polylog(const std::vector<double>& n,
+                                   const std::vector<double>& cost);
+
+/// True when the measured exponent is within +-tol of `expected`; used by
+/// benches to print PASS/FAIL against the paper's claimed shape.
+[[nodiscard]] bool exponent_matches(const PowerFit& fit, double expected,
+                                    double tol);
+
+/// "n^1.52 (r2=0.999)" style rendering for bench output.
+[[nodiscard]] std::string describe_power(const PowerFit& fit);
+[[nodiscard]] std::string describe_polylog(const PowerFit& fit);
+
+}  // namespace scm::util

@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace scm::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  if (!caption_.empty()) os << caption_ << "\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << "\n";
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+std::string fmt_double(double v, int prec) {
+  std::ostringstream os;
+  os.precision(prec);
+  os << v;
+  return os.str();
+}
+
+std::string fmt_count(long long v) {
+  const bool neg = v < 0;
+  unsigned long long u =
+      neg ? static_cast<unsigned long long>(-(v + 1)) + 1ULL
+          : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(u);
+  std::string out;
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run != 0 && run % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++run;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace scm::util

@@ -1,0 +1,41 @@
+// Fixed-width console table printer used by the benchmark harness to emit
+// paper-style result rows (Table I reproductions, lemma sweeps).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace scm::util {
+
+/// Collects rows of string cells and prints them with aligned columns,
+/// a header rule, and an optional caption.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; it must have as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (caption, header, rule, rows) to a string.
+  [[nodiscard]] std::string str() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+  void set_caption(std::string caption) { caption_ = std::move(caption); }
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` significant digits (benchmark row helper).
+[[nodiscard]] std::string fmt_double(double v, int prec = 4);
+
+/// Formats an integer with thousands separators for readability.
+[[nodiscard]] std::string fmt_count(long long v);
+
+}  // namespace scm::util

@@ -1,0 +1,230 @@
+// Tests of the bitonic sorting network (Section V-B): the 0-1 principle
+// over all binary inputs, random sweeps, arbitrary-n padding, stability of
+// the stable wrapper, and the Lemma V.4 cost shape.
+#include "sort/bitonic.hpp"
+#include "sort/sort.hpp"
+
+#include "spatial/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace scm {
+namespace {
+
+TEST(Bitonic, ZeroOnePrincipleExhaustiveN16) {
+  // A data-oblivious network sorts every input iff it sorts every 0-1
+  // input (Knuth's 0-1 principle). n = 16 has 65536 binary inputs.
+  const index_t n = 16;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Machine m;
+    std::vector<int> v(n);
+    int ones = 0;
+    for (index_t i = 0; i < n; ++i) {
+      v[static_cast<size_t>(i)] = (mask >> i) & 1;
+      ones += v[static_cast<size_t>(i)];
+    }
+    auto a = GridArray<int>::from_values_square({0, 0}, v,
+                                                Layout::kRowMajor);
+    bitonic_sort(m, a, std::less<int>{});
+    const std::vector<int> got = a.values();
+    for (index_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got[static_cast<size_t>(i)], i >= n - ones ? 1 : 0)
+          << "mask=" << mask;
+    }
+  }
+}
+
+class BitonicSweep
+    : public ::testing::TestWithParam<std::tuple<index_t, std::uint64_t>> {};
+
+TEST_P(BitonicSweep, SortsRandomDoubles) {
+  const auto [n, seed] = GetParam();
+  Machine m;
+  auto v = random_doubles(seed, static_cast<size_t>(n));
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  bitonic_sort(m, a, std::less<double>{});
+  auto ref = v;
+  std::sort(ref.begin(), ref.end());
+  EXPECT_EQ(a.values(), ref);
+}
+
+TEST_P(BitonicSweep, SortsOnZOrderLayoutToo) {
+  const auto [n, seed] = GetParam();
+  Machine m;
+  auto v = random_doubles(seed + 99, static_cast<size_t>(n));
+  auto a = GridArray<double>::from_values_square({0, 0}, v, Layout::kZOrder);
+  bitonic_sort(m, a, std::less<double>{});
+  auto ref = v;
+  std::sort(ref.begin(), ref.end());
+  EXPECT_EQ(a.values(), ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PowersOfTwo, BitonicSweep,
+    ::testing::Combine(::testing::Values<index_t>(2, 4, 16, 64, 256, 1024),
+                       ::testing::Values<std::uint64_t>(10, 20)));
+
+TEST(BitonicAnyN, PadsAndSorts) {
+  for (index_t n : {1, 3, 5, 7, 17, 100, 1000}) {
+    Machine m;
+    auto v = random_doubles(static_cast<std::uint64_t>(n),
+                            static_cast<size_t>(n));
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    GridArray<double> s = bitonic_sort_any(m, a, std::less<double>{});
+    auto ref = v;
+    std::sort(ref.begin(), ref.end());
+    EXPECT_EQ(s.values(), ref) << n;
+  }
+}
+
+TEST(BitonicStable, PreservesInputOrderOfEqualKeys) {
+  Machine m;
+  // Keys with many duplicates; stability observable through pairs.
+  std::vector<std::pair<int, int>> v;
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 200; ++i) {
+    v.emplace_back(static_cast<int>(rng() % 7), i);
+  }
+  auto a = GridArray<std::pair<int, int>>::from_values_square(
+      {0, 0}, v, Layout::kRowMajor);
+  auto s = bitonic_sort_stable(
+      m, a, [](const auto& x, const auto& y) { return x.first < y.first; });
+  auto ref = v;
+  std::stable_sort(ref.begin(), ref.end(), [](const auto& x, const auto& y) {
+    return x.first < y.first;
+  });
+  EXPECT_EQ(s.values(), ref);
+}
+
+TEST(Bitonic, AllEqualKeysAreUntouchedOrder) {
+  Machine m;
+  std::vector<int> v(64, 5);
+  auto a = GridArray<int>::from_values_square({0, 0}, v, Layout::kRowMajor);
+  bitonic_sort(m, a, std::less<int>{});
+  EXPECT_EQ(a.values(), v);
+}
+
+TEST(Bitonic, AdversarialInputs) {
+  for (auto maker : {+[](index_t n) {
+                       std::vector<double> v;
+                       for (index_t i = 0; i < n; ++i) {
+                         v.push_back(static_cast<double>(n - i));
+                       }
+                       return v;  // reversed
+                     },
+                     +[](index_t n) {
+                       std::vector<double> v;
+                       for (index_t i = 0; i < n; ++i) {
+                         v.push_back(static_cast<double>(i % 7));
+                       }
+                       return v;  // sawtooth
+                     }}) {
+    Machine m;
+    auto v = maker(256);
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    bitonic_sort(m, a, std::less<double>{});
+    auto ref = v;
+    std::sort(ref.begin(), ref.end());
+    EXPECT_EQ(a.values(), ref);
+  }
+}
+
+TEST(BitonicMerge, MergesBitonicSequences) {
+  // An ascending run followed by a descending run is bitonic; the merge
+  // network must sort it (Lemma V.3).
+  for (index_t n : {4, 16, 64, 256}) {
+    Machine m;
+    auto up = random_doubles(static_cast<std::uint64_t>(n),
+                             static_cast<size_t>(n / 2));
+    auto down = random_doubles(static_cast<std::uint64_t>(n + 1),
+                               static_cast<size_t>(n / 2));
+    std::sort(up.begin(), up.end());
+    std::sort(down.begin(), down.end(), std::greater<double>{});
+    std::vector<double> v = up;
+    v.insert(v.end(), down.begin(), down.end());
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    bitonic_merge(m, a, std::less<double>{});
+    auto ref = v;
+    std::sort(ref.begin(), ref.end());
+    EXPECT_EQ(a.values(), ref) << n;
+  }
+}
+
+TEST(BitonicMerge, ZeroOnePrincipleExhaustiveBitonicInputs) {
+  // All 0-1 bitonic sequences of length 16 (0^a 1^b 0^c patterns and
+  // rotations thereof that remain bitonic: 1^a 0^b 1^c too).
+  const index_t n = 16;
+  auto check = [&](const std::vector<int>& v) {
+    Machine m;
+    auto a = GridArray<int>::from_values_square({0, 0}, v,
+                                                Layout::kRowMajor);
+    bitonic_merge(m, a, std::less<int>{});
+    auto ref = v;
+    std::sort(ref.begin(), ref.end());
+    ASSERT_EQ(a.values(), ref);
+  };
+  for (index_t i = 0; i <= n; ++i) {
+    for (index_t j = i; j <= n; ++j) {
+      std::vector<int> updown(static_cast<size_t>(n), 0);
+      std::vector<int> downup(static_cast<size_t>(n), 1);
+      for (index_t k = i; k < j; ++k) {
+        updown[static_cast<size_t>(k)] = 1;
+        downup[static_cast<size_t>(k)] = 0;
+      }
+      check(updown);
+      check(downup);
+    }
+  }
+}
+
+TEST(BitonicMerge, LogDepthLinearStages) {
+  Machine m;
+  auto v = random_doubles(3, 512);
+  std::sort(v.begin(), v.begin() + 256);
+  std::sort(v.begin() + 256, v.end(), std::greater<double>{});
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  bitonic_merge(m, a, std::less<double>{});
+  EXPECT_LE(m.metrics().depth(), 10);  // log2(512) + 1 stages
+}
+
+TEST(Bitonic, DepthIsLogSquared) {
+  // The network has exactly log2(n)*(log2(n)+1)/2 compare stages, and each
+  // stage is one message step.
+  Machine m;
+  auto v = random_doubles(1, 1024);
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  bitonic_sort(m, a, std::less<double>{});
+  const double stages = 10.0 * 11.0 / 2.0;
+  EXPECT_LE(static_cast<double>(m.metrics().depth()), stages + 1);
+  EXPECT_GE(static_cast<double>(m.metrics().depth()), stages - 1);
+}
+
+TEST(Bitonic, EnergyPaysLogFactorOverN32) {
+  // Lemma V.4: Theta(n^{3/2} log n) on a square grid. The normalized
+  // energy e / n^{3/2} must grow roughly linearly in log n.
+  auto normalized = [](index_t n) {
+    Machine m;
+    auto v = random_doubles(2, static_cast<size_t>(n));
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    bitonic_sort(m, a, std::less<double>{});
+    return static_cast<double>(m.metrics().energy) /
+           std::pow(static_cast<double>(n), 1.5);
+  };
+  const double r1 = normalized(256);
+  const double r2 = normalized(4096);
+  EXPECT_GT(r2, r1 * 1.2);  // grows with log n
+  EXPECT_LT(r2, r1 * 3.0);  // ... but only logarithmically
+}
+
+}  // namespace
+}  // namespace scm

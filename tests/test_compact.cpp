@@ -1,0 +1,81 @@
+// Tests of the compaction collective (the Section VI step-2 gather
+// pattern exposed as a primitive).
+#include "collectives/compact.hpp"
+
+#include "spatial/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scm {
+namespace {
+
+TEST(Compact, GathersFlaggedElementsInOrder) {
+  Machine m;
+  std::vector<int> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  auto a = GridArray<int>::from_values_square({0, 0}, v);
+  std::vector<char> flags(100, 0);
+  std::vector<int> expected;
+  for (int i = 0; i < 100; i += 3) {
+    flags[static_cast<size_t>(i)] = 1;
+    expected.push_back(i);
+  }
+  GridArray<int> out = compact_flagged(
+      m, a, flags, static_cast<index_t>(expected.size()));
+  EXPECT_EQ(out.values(), expected);
+}
+
+TEST(Compact, NoneAndAllFlagged) {
+  Machine m;
+  auto a = GridArray<int>::from_values_square({0, 0}, {1, 2, 3, 4});
+  GridArray<int> none = compact_flagged(m, a, {0, 0, 0, 0}, 0);
+  EXPECT_EQ(none.size(), 0);
+  GridArray<int> all = compact_flagged(m, a, {1, 1, 1, 1}, 4);
+  EXPECT_EQ(all.values(), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Compact, PredicateForm) {
+  Machine m;
+  auto vals = random_ints(3, 256, -100, 100);
+  std::vector<long long> v(vals.begin(), vals.end());
+  auto a = GridArray<long long>::from_values_square({0, 0}, v);
+  GridArray<long long> out =
+      compact_if(m, a, [](long long x) { return x >= 0; });
+  std::vector<long long> expected;
+  for (long long x : v) {
+    if (x >= 0) expected.push_back(x);
+  }
+  EXPECT_EQ(out.values(), expected);
+}
+
+TEST(Compact, LinearEnergyLogDepthForSqrtNSurvivors) {
+  // The Section VI usage: O(sqrt n) survivors each travel O(sqrt n), so
+  // the whole compaction (scan included) is O(n) energy. (Compacting a
+  // constant fraction is Theta(n sqrt n) — the elements genuinely move.)
+  Machine m;
+  const index_t n = 16384;
+  auto vals = random_ints(5, static_cast<size_t>(n), 0, n - 1);
+  std::vector<long long> v(vals.begin(), vals.end());
+  auto a = GridArray<long long>::from_values_square({0, 0}, v);
+  const long long cutoff = 128;  // ~ sqrt(n) survivors in expectation
+  (void)compact_if(m, a, [&](long long x) { return x < cutoff; });
+  EXPECT_LE(static_cast<double>(m.metrics().energy),
+            10.0 * static_cast<double>(n));
+  EXPECT_LE(static_cast<double>(m.metrics().depth()),
+            3.0 * std::log2(static_cast<double>(n)) + 2);
+}
+
+TEST(Compact, ClocksDependOnTheScan) {
+  // A gathered element cannot land before the scan told it its slot: its
+  // clock must exceed its input clock.
+  Machine m;
+  auto a = GridArray<int>::from_values_square({0, 0}, {5, 6, 7, 8});
+  GridArray<int> out = compact_flagged(m, a, {0, 1, 0, 1}, 2);
+  EXPECT_GT(out[0].clock.depth, 0);
+  EXPECT_GT(out[1].clock.depth, 0);
+}
+
+}  // namespace
+}  // namespace scm

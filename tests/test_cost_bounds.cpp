@@ -1,0 +1,123 @@
+// Model-level invariants that must hold for every algorithm in the
+// library:
+//   * energy >= messages        (every charged message travels >= 1),
+//   * energy >= distance        (the critical chain is a subset of all
+//                                traffic),
+//   * depth <= messages         (a chain cannot be longer than the total
+//                                message count),
+//   * depth <= distance         (every hop adds >= 1 distance),
+//   * determinism               (same seed => identical metrics).
+#include "collectives/scan.hpp"
+#include "select/select.hpp"
+#include "sort/sort.hpp"
+#include "spmv/generators.hpp"
+#include "spmv/spmv.hpp"
+#include "spatial/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace scm {
+namespace {
+
+void check_invariants(const Machine& m, const std::string& label) {
+  const Metrics& mt = m.metrics();
+  EXPECT_GE(mt.energy, mt.messages) << label;
+  EXPECT_GE(mt.energy, mt.distance()) << label;
+  EXPECT_LE(mt.depth(), mt.messages) << label;
+  EXPECT_LE(mt.depth(), mt.distance()) << label;
+  EXPECT_GE(mt.energy, 0) << label;
+  // Per-phase metrics are each bounded by the totals.
+  for (const auto& [name, pm] : m.phases()) {
+    EXPECT_LE(pm.energy, mt.energy) << label << "/" << name;
+    EXPECT_LE(pm.messages, mt.messages) << label << "/" << name;
+    EXPECT_LE(pm.depth(), mt.depth()) << label << "/" << name;
+  }
+}
+
+TEST(ModelInvariants, HoldForEveryAlgorithm) {
+  const index_t n = 256;
+  auto v = random_doubles(1, static_cast<size_t>(n));
+
+  {
+    Machine m;
+    auto a = GridArray<double>::from_values_square({0, 0}, v);
+    (void)scan(m, a, Plus{});
+    check_invariants(m, "scan");
+  }
+  {
+    Machine m;
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    (void)mergesort2d(m, a);
+    check_invariants(m, "mergesort2d");
+  }
+  {
+    Machine m;
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    bitonic_sort(m, a, std::less<double>{});
+    check_invariants(m, "bitonic");
+  }
+  {
+    Machine m;
+    auto a = GridArray<double>::from_values_square({0, 0}, v);
+    (void)allpairs_sort(m, a, std::less<double>{});
+    check_invariants(m, "allpairs");
+  }
+  {
+    Machine m;
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    (void)select_rank(m, a, n / 2, 9);
+    check_invariants(m, "select");
+  }
+  {
+    Machine m;
+    const CooMatrix mat = random_uniform_matrix(64, 128, 2);
+    (void)spmv(m, mat, random_doubles(3, 64));
+    check_invariants(m, "spmv");
+  }
+}
+
+TEST(ModelInvariants, OutputClocksAreBoundedByMachineMax) {
+  Machine m;
+  auto v = random_doubles(4, 256);
+  auto a = GridArray<double>::from_values_square({0, 0}, v);
+  GridArray<double> out = scan(m, a, Plus{});
+  const Clock mc = m.metrics().max_clock;
+  for (index_t i = 0; i < out.size(); ++i) {
+    EXPECT_LE(out[i].clock.depth, mc.depth);
+    EXPECT_LE(out[i].clock.distance, mc.distance);
+  }
+}
+
+TEST(ModelInvariants, DeterministicMetricsAcrossRuns) {
+  auto run_once = [] {
+    Machine m;
+    auto v = random_doubles(7, 400);
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    (void)mergesort2d(m, a);
+    return m.metrics();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(ModelInvariants, SortedOutputDepthsAreAchievable) {
+  // Every output element's clock must be reachable: depth >= 1 for any
+  // element that moved, and the first element of a scan (which never
+  // waits) keeps depth 0.
+  Machine m;
+  auto v = random_doubles(8, 64);
+  auto a = GridArray<double>::from_values_square({0, 0}, v);
+  GridArray<double> out = scan(m, a, Plus{});
+  EXPECT_EQ(out[0].clock.depth, 0);  // A_0's prefix is itself, in place
+  EXPECT_GT(out[out.size() - 1].clock.depth, 0);
+}
+
+}  // namespace
+}  // namespace scm

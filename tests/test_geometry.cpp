@@ -1,0 +1,109 @@
+// Unit tests for the grid geometry substrate (Section III notation).
+#include "spatial/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scm {
+namespace {
+
+TEST(Manhattan, MatchesDefinition) {
+  EXPECT_EQ(manhattan({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(manhattan({1, 2}, {4, 6}), 3 + 4);
+  EXPECT_EQ(manhattan({4, 6}, {1, 2}), 3 + 4);
+  EXPECT_EQ(manhattan({-3, 5}, {2, -1}), 5 + 6);
+}
+
+TEST(Manhattan, TriangleInequality) {
+  const Coord a{0, 0};
+  const Coord b{7, 3};
+  const Coord c{2, 9};
+  EXPECT_LE(manhattan(a, c), manhattan(a, b) + manhattan(b, c));
+}
+
+TEST(Rect, SizeOriginContains) {
+  const Rect r{2, 3, 4, 5};
+  EXPECT_EQ(r.size(), 20);
+  EXPECT_EQ(r.origin(), (Coord{2, 3}));
+  EXPECT_TRUE(r.contains({2, 3}));
+  EXPECT_TRUE(r.contains({5, 7}));
+  EXPECT_FALSE(r.contains({6, 3}));
+  EXPECT_FALSE(r.contains({2, 8}));
+  EXPECT_FALSE(r.contains({1, 3}));
+}
+
+TEST(Rect, AtAndDiameter) {
+  const Rect r{1, 1, 4, 4};
+  EXPECT_EQ(r.at(0, 0), r.origin());
+  EXPECT_EQ(r.at(3, 3), (Coord{4, 4}));
+  EXPECT_EQ(r.diameter(), 6);
+  EXPECT_EQ((Rect{0, 0, 1, 1}).diameter(), 0);
+}
+
+TEST(Rect, QuadrantsPartitionInZOrder) {
+  const Rect r{0, 0, 8, 8};
+  const Rect q0 = r.quadrant(0);
+  const Rect q1 = r.quadrant(1);
+  const Rect q2 = r.quadrant(2);
+  const Rect q3 = r.quadrant(3);
+  // Top two quadrants left to right, then bottom two (the paper's Z
+  // order).
+  EXPECT_EQ(q0, (Rect{0, 0, 4, 4}));
+  EXPECT_EQ(q1, (Rect{0, 4, 4, 4}));
+  EXPECT_EQ(q2, (Rect{4, 0, 4, 4}));
+  EXPECT_EQ(q3, (Rect{4, 4, 4, 4}));
+  EXPECT_EQ(q0.size() + q1.size() + q2.size() + q3.size(), r.size());
+  EXPECT_FALSE(q0.intersects(q3));
+  EXPECT_TRUE(r.intersects(q2));
+}
+
+TEST(Rect, Intersects) {
+  const Rect a{0, 0, 4, 4};
+  EXPECT_TRUE(a.intersects(Rect{3, 3, 4, 4}));
+  EXPECT_FALSE(a.intersects(Rect{4, 0, 4, 4}));
+  EXPECT_FALSE(a.intersects(Rect{0, 4, 4, 4}));
+  EXPECT_TRUE(a.intersects(a));
+}
+
+TEST(PowersOfTwo, Predicates) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(-4));
+  EXPECT_EQ(ceil_pow2(1), 1);
+  EXPECT_EQ(ceil_pow2(5), 8);
+  EXPECT_EQ(ceil_pow2(64), 64);
+}
+
+TEST(Isqrt, ExactAndRounded) {
+  EXPECT_EQ(isqrt(0), 0);
+  EXPECT_EQ(isqrt(1), 1);
+  EXPECT_EQ(isqrt(15), 3);
+  EXPECT_EQ(isqrt(16), 4);
+  EXPECT_EQ(isqrt(17), 4);
+  for (index_t v = 0; v < 5000; ++v) {
+    const index_t s = isqrt(v);
+    EXPECT_LE(s * s, v);
+    EXPECT_GT((s + 1) * (s + 1), v);
+  }
+}
+
+TEST(SquareSide, SmallestPowerOfTwoCover) {
+  EXPECT_EQ(square_side_for(0), 1);
+  EXPECT_EQ(square_side_for(1), 1);
+  EXPECT_EQ(square_side_for(2), 2);
+  EXPECT_EQ(square_side_for(4), 2);
+  EXPECT_EQ(square_side_for(5), 4);
+  EXPECT_EQ(square_side_for(16), 4);
+  EXPECT_EQ(square_side_for(17), 8);
+  for (index_t n = 1; n < 3000; ++n) {
+    const index_t s = square_side_for(n);
+    EXPECT_TRUE(is_pow2(s));
+    EXPECT_GE(s * s, n);
+    EXPECT_TRUE(s == 1 || (s / 2) * (s / 2) < n);
+  }
+}
+
+}  // namespace
+}  // namespace scm

@@ -1,0 +1,94 @@
+// Tests of GridArray layouts, offsets, and element routing.
+#include "spatial/grid_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace scm {
+namespace {
+
+TEST(GridArray, RowMajorCoordinates) {
+  GridArray<int> a(Rect{2, 3, 4, 8}, Layout::kRowMajor, 20);
+  EXPECT_EQ(a.coord(0), (Coord{2, 3}));
+  EXPECT_EQ(a.coord(7), (Coord{2, 10}));
+  EXPECT_EQ(a.coord(8), (Coord{3, 3}));
+  EXPECT_EQ(a.coord(19), (Coord{4, 6}));
+}
+
+TEST(GridArray, ZOrderCoordinates) {
+  GridArray<int> a(Rect{0, 0, 4, 4}, Layout::kZOrder, 16);
+  EXPECT_EQ(a.coord(0), (Coord{0, 0}));
+  EXPECT_EQ(a.coord(1), (Coord{0, 1}));
+  EXPECT_EQ(a.coord(2), (Coord{1, 0}));
+  EXPECT_EQ(a.coord(3), (Coord{1, 1}));
+  EXPECT_EQ(a.coord(4), (Coord{0, 2}));
+  EXPECT_EQ(a.coord(15), (Coord{3, 3}));
+}
+
+TEST(GridArray, OffsetRangesAddressTheParentOrder) {
+  GridArray<int> whole(Rect{0, 0, 4, 4}, Layout::kZOrder, 16);
+  GridArray<int> part(Rect{0, 0, 4, 4}, Layout::kZOrder, 4, 8);
+  for (index_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(part.coord(i), whole.coord(8 + i));
+  }
+  EXPECT_EQ(part.offset(), 8);
+}
+
+TEST(GridArray, FromValuesAndValuesRoundTrip) {
+  std::vector<double> v(10);
+  std::iota(v.begin(), v.end(), 0.0);
+  auto a = GridArray<double>::from_values_square({0, 0}, v);
+  EXPECT_EQ(a.size(), 10);
+  EXPECT_EQ(a.values(), v);
+  EXPECT_EQ(a.region().rows, 4);  // 4x4 canonical square covers 10
+}
+
+TEST(GridArray, CoordinatesAreDistinctPerLayout) {
+  for (Layout layout : {Layout::kRowMajor, Layout::kZOrder}) {
+    GridArray<int> a(Rect{0, 0, 8, 8}, layout, 64);
+    std::set<std::pair<index_t, index_t>> seen;
+    for (index_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(seen.insert({a.coord(i).row, a.coord(i).col}).second);
+    }
+  }
+}
+
+TEST(GridArray, SendElementChargesAndMoves) {
+  Machine m;
+  auto src = GridArray<int>::from_values_square({0, 0}, {1, 2, 3, 4});
+  GridArray<int> dst(Rect{0, 10, 2, 2}, Layout::kRowMajor, 4);
+  send_element(m, src, 0, dst, 3);
+  EXPECT_EQ(dst[3].value, 1);
+  EXPECT_EQ(m.metrics().energy, manhattan(src.coord(0), dst.coord(3)));
+  EXPECT_EQ(dst[3].clock.depth, 1);
+}
+
+TEST(GridArray, RoutePermutationAppliesMapping) {
+  Machine m;
+  auto src = GridArray<int>::from_values_square({0, 0}, {10, 20, 30, 40});
+  const std::vector<index_t> perm{3, 2, 1, 0};
+  auto dst = route_permutation(m, src, src.region(), src.layout(), perm);
+  EXPECT_EQ(dst.values(), (std::vector<int>{40, 30, 20, 10}));
+}
+
+TEST(GridArray, RoutePermutationIdentityIntoNewLayout) {
+  Machine m;
+  auto src = GridArray<int>::from_values_square({0, 0}, {1, 2, 3, 4, 5, 6},
+                                                Layout::kRowMajor);
+  auto dst = route_permutation(m, src, src.region(), Layout::kZOrder);
+  EXPECT_EQ(dst.values(), src.values());
+  EXPECT_EQ(dst.layout(), Layout::kZOrder);
+}
+
+TEST(GridArray, MaxClockJoinsAllElements) {
+  GridArray<int> a(Rect{0, 0, 2, 2}, Layout::kRowMajor, 4);
+  a[2].clock = Clock{5, 17};
+  a[3].clock = Clock{2, 99};
+  EXPECT_EQ(a.max_clock().depth, 5);
+  EXPECT_EQ(a.max_clock().distance, 99);
+}
+
+}  // namespace
+}  // namespace scm

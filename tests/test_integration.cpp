@@ -1,0 +1,115 @@
+// Integration tests composing several primitives end-to-end, exercising
+// the public umbrella API the way applications do.
+#include "core/scm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace scm {
+namespace {
+
+TEST(Integration, SortThenScanComputesSortedPrefixSums) {
+  Machine m;
+  auto v = random_doubles(1, 256);
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  GridArray<double> sorted = mergesort2d(m, a);
+  GridArray<double> z =
+      route_permutation(m, sorted, sorted.region(), Layout::kZOrder);
+  GridArray<double> prefix = scan(m, z, Plus{});
+
+  auto ref = v;
+  std::sort(ref.begin(), ref.end());
+  std::vector<double> want(ref.size());
+  std::inclusive_scan(ref.begin(), ref.end(), want.begin());
+  const auto got = prefix.values();
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-9);
+  }
+}
+
+TEST(Integration, SelectAgreesWithSortAtEveryRank) {
+  auto v = random_doubles(2, 128);
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  Machine ms;
+  GridArray<double> sorted = mergesort2d(ms, a);
+  const auto sv = sorted.values();
+  for (index_t k = 1; k <= 128; k += 13) {
+    Machine m;
+    EXPECT_EQ(select_rank(m, a, k, 11 + k).value,
+              sv[static_cast<size_t>(k - 1)]);
+  }
+}
+
+TEST(Integration, PowerIterationWithSpmv) {
+  // Two steps of y <- A y with the spatial SpMV must match the dense
+  // reference — the PageRank-style loop of the examples.
+  const index_t n = 64;
+  const CooMatrix a = random_uniform_matrix(n, 3 * n, 3);
+  std::vector<double> y = random_doubles(4, static_cast<size_t>(n));
+  std::vector<double> ref = y;
+  for (int it = 0; it < 2; ++it) {
+    Machine m;
+    y = spmv(m, a, y).y;
+    ref = a.multiply_reference(ref);
+  }
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[static_cast<size_t>(i)], ref[static_cast<size_t>(i)],
+                1e-6 * (1.0 + std::abs(ref[static_cast<size_t>(i)])));
+  }
+}
+
+TEST(Integration, TopKViaSelectThenFilterMatchesSort) {
+  // The GNN sort-pooling pattern: threshold = rank-k element, then keep
+  // everything at or below it.
+  const index_t n = 200;
+  const index_t k = 25;
+  auto v = random_doubles(5, static_cast<size_t>(n));
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  Machine m;
+  const double threshold = select_rank(m, a, k, 6).value;
+  std::vector<double> kept;
+  for (double x : v) {
+    if (x <= threshold) kept.push_back(x);
+  }
+  EXPECT_EQ(static_cast<index_t>(kept.size()), k);  // distinct doubles
+  auto ref = v;
+  std::sort(ref.begin(), ref.end());
+  std::sort(kept.begin(), kept.end());
+  EXPECT_TRUE(std::equal(kept.begin(), kept.end(), ref.begin()));
+}
+
+TEST(Integration, CostReportMentionsPhases) {
+  Machine m;
+  auto v = random_doubles(7, 64);
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  (void)mergesort2d(m, a);
+  const std::string report = cost_report(m);
+  EXPECT_NE(report.find("mergesort2d"), std::string::npos);
+  EXPECT_NE(report.find("energy="), std::string::npos);
+  EXPECT_STREQ(version(), "1.0.0");
+}
+
+TEST(Integration, SegmentedScanDrivesSegmentedBroadcast) {
+  // The SpMV column-broadcast pattern in isolation: heads carry a value,
+  // First fans it across each segment.
+  Machine m;
+  std::vector<Seg<double>> sv;
+  for (int i = 0; i < 100; ++i) {
+    sv.push_back({i % 10 == 0 ? static_cast<double>(i) : -1.0, i % 10 == 0});
+  }
+  auto a = GridArray<Seg<double>>::from_values_square({0, 0}, sv);
+  GridArray<Seg<double>> out = segmented_scan(m, a, First{});
+  for (index_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].value.value, static_cast<double>((i / 10) * 10));
+  }
+}
+
+}  // namespace
+}  // namespace scm

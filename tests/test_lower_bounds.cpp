@@ -1,0 +1,101 @@
+// Empirical checks of the paper's lower bounds (Lemma V.1, Corollary V.2,
+// Lemma VIII.1, Observation 1): the witnesses really cost what the proofs
+// say, and the matching algorithms stay within constant factors above
+// them.
+#include "sort/mergesort2d.hpp"
+#include "sort/permute.hpp"
+#include "spmv/generators.hpp"
+#include "spmv/spmv.hpp"
+#include "spatial/rng.hpp"
+#include "spatial/zorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace scm {
+namespace {
+
+TEST(LowerBounds, ReversalNeedsN32OnAnyShape) {
+  // Lemma V.1: permuting h x w elements takes
+  // Omega(max(w,h)^2 min(w,h)) energy; the reversal witness achieves it.
+  for (const Rect rect : {Rect{0, 0, 16, 16}, Rect{0, 0, 64, 4},
+                          Rect{0, 0, 4, 64}, Rect{0, 0, 128, 2}}) {
+    const index_t n = rect.size();
+    GridArray<int> a(rect, Layout::kRowMajor, n);
+    const index_t lb =
+        permutation_energy_lower_bound(a, reversal_permutation(n));
+    const double hi = static_cast<double>(std::max(rect.rows, rect.cols));
+    const double lo = static_cast<double>(std::min(rect.rows, rect.cols));
+    EXPECT_GE(static_cast<double>(lb), hi * hi * lo / 9.0) << rect.str();
+  }
+}
+
+TEST(LowerBounds, SortingPaysThePermutationBound) {
+  // Corollary V.2: sorting realizes permutations, so sorting the reversal
+  // input must cost at least the reversal's routing energy.
+  const index_t side = 32;
+  const index_t n = side * side;
+  std::vector<double> reversed;
+  for (index_t i = 0; i < n; ++i) {
+    reversed.push_back(static_cast<double>(n - i));
+  }
+  Machine m;
+  auto a = GridArray<double>::from_values_square({0, 0}, reversed,
+                                                 Layout::kRowMajor);
+  (void)mergesort2d(m, a);
+  GridArray<int> w(Rect{0, 0, side, side}, Layout::kRowMajor, n);
+  const index_t lb =
+      permutation_energy_lower_bound(w, reversal_permutation(n));
+  EXPECT_GE(m.metrics().energy, lb);
+}
+
+TEST(LowerBounds, MergesortIsWithinConstantFactorOfOptimal) {
+  // Energy-optimality in practice: measured energy / n^{3/2} is a bounded
+  // constant (checked at two sizes; the per-module test checks flatness).
+  for (index_t n : {1024, 4096}) {
+    Machine m;
+    auto v = random_doubles(1, static_cast<size_t>(n));
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    (void)mergesort2d(m, a);
+    EXPECT_LE(static_cast<double>(m.metrics().energy),
+              700.0 * std::pow(static_cast<double>(n), 1.5))
+        << n;
+  }
+}
+
+TEST(LowerBounds, SpmvPermutationReduction) {
+  // Lemma VIII.1: SpMV with a permutation matrix performs the permutation,
+  // so its energy cannot beat direct permutation routing... and on the
+  // reversal matrix it must be Omega(n^{3/2}).
+  const index_t n = 256;
+  std::vector<index_t> perm = reversal_permutation(n);
+  const CooMatrix p = permutation_matrix(perm);
+  const auto x = random_doubles(2, static_cast<size_t>(n));
+  Machine m;
+  const SpmvResult r = spmv(m, p, x);
+  for (index_t i = 0; i < n; ++i) {
+    ASSERT_EQ(r.y[static_cast<size_t>(i)],
+              x[static_cast<size_t>(perm[static_cast<size_t>(i)])]);
+  }
+  EXPECT_GE(static_cast<double>(m.metrics().energy),
+            std::pow(static_cast<double>(n), 1.5) / 9.0);
+}
+
+TEST(Observation1, ZOrderWalkIsLinearEnergy) {
+  // Walking the Z curve with one message per edge costs O(n) energy.
+  Machine m;
+  const Rect r{0, 0, 32, 32};
+  Clock c{};
+  for (index_t i = 1; i < r.size(); ++i) {
+    c = m.send(zorder_coord(r, i - 1), zorder_coord(r, i), c);
+  }
+  EXPECT_LE(m.metrics().energy, 3 * r.size());
+  EXPECT_EQ(m.metrics().depth(), r.size() - 1);
+}
+
+}  // namespace
+}  // namespace scm

@@ -1,0 +1,135 @@
+// Tests of the 2-D merge (Section V-C-b, Lemma V.7).
+#include "sort/merge2d.hpp"
+
+#include "sort/keyed.hpp"
+#include "spatial/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+namespace scm {
+namespace {
+
+using E = WithId<double>;
+using Less = TotalLess<std::less<double>>;
+
+// Builds two sorted id-tagged range arrays on one parent square.
+struct MergeInput {
+  Rect parent;
+  GridArray<E> a;
+  GridArray<E> b;
+  std::vector<double> expected;
+};
+
+MergeInput make_input(index_t na, index_t nb, std::uint64_t seed) {
+  auto va = random_doubles(seed, static_cast<size_t>(na));
+  auto vb = random_doubles(seed + 1, static_cast<size_t>(nb));
+  std::sort(va.begin(), va.end());
+  std::sort(vb.begin(), vb.end());
+  const Rect parent = square_at({0, 0}, square_side_for(na + nb));
+  GridArray<E> a(parent, Layout::kZOrder, na, 0);
+  for (index_t i = 0; i < na; ++i) {
+    a[i].value = E{va[static_cast<size_t>(i)], i};
+  }
+  GridArray<E> b(parent, Layout::kZOrder, nb, na);
+  for (index_t i = 0; i < nb; ++i) {
+    b[i].value = E{vb[static_cast<size_t>(i)], na + i};
+  }
+  std::vector<double> all = va;
+  all.insert(all.end(), vb.begin(), vb.end());
+  std::sort(all.begin(), all.end());
+  return MergeInput{parent, std::move(a), std::move(b), std::move(all)};
+}
+
+std::vector<double> raw_values(const GridArray<E>& arr) {
+  std::vector<double> out;
+  for (index_t i = 0; i < arr.size(); ++i) out.push_back(arr[i].value.value);
+  return out;
+}
+
+class MergeSweep
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t>> {};
+
+TEST_P(MergeSweep, ProducesSortedUnion) {
+  const auto [na, nb] = GetParam();
+  Machine m;
+  MergeInput in = make_input(na, nb, 31 + na + nb);
+  GridArray<E> out = merge2d(m, in.a, in.b, 0, Less{});
+  ASSERT_EQ(out.size(), na + nb);
+  EXPECT_EQ(raw_values(out), in.expected);
+}
+
+const std::vector<std::tuple<index_t, index_t>> kMergeSizes{
+    {0, 0},     {0, 5},    {5, 0},     {1, 1},     {8, 8},     {16, 16},
+    {30, 34},   {128, 128}, {1, 255},  {200, 56},  {512, 512}, {100, 924}};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MergeSweep,
+                         ::testing::ValuesIn(kMergeSizes));
+
+TEST(Merge2d, OutputLandsOnTheRequestedOffset) {
+  Machine m;
+  MergeInput in = make_input(32, 32, 5);
+  GridArray<E> out = merge2d(m, in.a, in.b, 0, Less{});
+  EXPECT_EQ(out.offset(), 0);
+  EXPECT_EQ(out.region(), in.parent);
+  EXPECT_EQ(out.layout(), Layout::kZOrder);
+}
+
+TEST(Merge2d, MergesIntoUpperRange) {
+  // Merge into the second half of a larger parent square: the destination
+  // offset is honoured.
+  const Rect parent = square_at({0, 0}, 16);  // 256 cells
+  auto va = random_doubles(6, 64);
+  auto vb = random_doubles(7, 64);
+  std::sort(va.begin(), va.end());
+  std::sort(vb.begin(), vb.end());
+  GridArray<E> a(parent, Layout::kZOrder, 64, 0);
+  GridArray<E> b(parent, Layout::kZOrder, 64, 64);
+  for (index_t i = 0; i < 64; ++i) {
+    a[i].value = E{va[static_cast<size_t>(i)], i};
+    b[i].value = E{vb[static_cast<size_t>(i)], 64 + i};
+  }
+  Machine m;
+  GridArray<E> out = merge2d(m, a, b, 128, Less{});
+  EXPECT_EQ(out.offset(), 128);
+  std::vector<double> all = va;
+  all.insert(all.end(), vb.begin(), vb.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(raw_values(out), all);
+}
+
+TEST(Merge2d, DuplicateKeysMergeStably) {
+  const Rect parent = square_at({0, 0}, 8);
+  GridArray<E> a(parent, Layout::kZOrder, 32, 0);
+  GridArray<E> b(parent, Layout::kZOrder, 32, 32);
+  for (index_t i = 0; i < 32; ++i) {
+    a[i].value = E{static_cast<double>(i / 8), i};
+    b[i].value = E{static_cast<double>(i / 8), 32 + i};
+  }
+  Machine m;
+  GridArray<E> out = merge2d(m, a, b, 0, Less{});
+  // Sorted by (key, id): within a key, A's ids (smaller) come first.
+  for (index_t i = 1; i < out.size(); ++i) {
+    EXPECT_FALSE(Less{}(out[i].value, out[i - 1].value)) << i;
+  }
+}
+
+TEST(Merge2d, CostBoundsLemmaV7) {
+  Machine m;
+  MergeInput in = make_input(2048, 2048, 77);
+  (void)merge2d(m, in.a, in.b, 0, Less{});
+  const double n = 4096.0;
+  EXPECT_LE(static_cast<double>(m.metrics().energy),
+            700.0 * std::pow(n, 1.5));
+  EXPECT_LE(static_cast<double>(m.metrics().depth()),
+            2.0 * std::pow(std::log2(n), 2));
+  EXPECT_LE(static_cast<double>(m.metrics().distance()),
+            200.0 * std::sqrt(n));
+}
+
+}  // namespace
+}  // namespace scm

@@ -1,0 +1,153 @@
+// Tests of the energy-optimal 2-D Mergesort (Section V-C, Theorem V.8).
+#include "sort/mergesort2d.hpp"
+
+#include "spatial/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace scm {
+namespace {
+
+class MergesortSweep
+    : public ::testing::TestWithParam<std::tuple<index_t, std::uint64_t>> {};
+
+TEST_P(MergesortSweep, SortsRandomDoubles) {
+  const auto [n, seed] = GetParam();
+  Machine m;
+  auto v = random_doubles(seed, static_cast<size_t>(n));
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  GridArray<double> s = mergesort2d(m, a);
+  auto ref = v;
+  std::sort(ref.begin(), ref.end());
+  EXPECT_EQ(s.values(), ref) << "n=" << n << " seed=" << seed;
+  EXPECT_EQ(s.layout(), Layout::kRowMajor);  // Fig. 3(d) final layout
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, MergesortSweep,
+    ::testing::Combine(::testing::Values<index_t>(0, 1, 2, 3, 4, 5, 16, 31,
+                                                  32, 33, 64, 100, 256, 333,
+                                                  1000, 1024),
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+TEST(Mergesort2d, Stability) {
+  Machine m;
+  std::vector<std::pair<int, int>> v;
+  std::mt19937_64 rng(9);
+  for (int i = 0; i < 300; ++i) v.emplace_back(static_cast<int>(rng() % 5), i);
+  auto a = GridArray<std::pair<int, int>>::from_values_square(
+      {0, 0}, v, Layout::kRowMajor);
+  auto s = mergesort2d(
+      m, a, [](const auto& x, const auto& y) { return x.first < y.first; });
+  auto ref = v;
+  std::stable_sort(ref.begin(), ref.end(), [](const auto& x, const auto& y) {
+    return x.first < y.first;
+  });
+  EXPECT_EQ(s.values(), ref);
+}
+
+TEST(Mergesort2d, AdversarialDistributions) {
+  const index_t n = 512;
+  std::vector<std::vector<double>> inputs;
+  std::vector<double> sorted;
+  std::vector<double> reversed;
+  std::vector<double> sawtooth;
+  std::vector<double> constant(static_cast<size_t>(n), 3.0);
+  for (index_t i = 0; i < n; ++i) {
+    sorted.push_back(static_cast<double>(i));
+    reversed.push_back(static_cast<double>(n - i));
+    sawtooth.push_back(static_cast<double>(i % 13));
+  }
+  inputs = {sorted, reversed, sawtooth, constant};
+  for (const auto& v : inputs) {
+    Machine m;
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    GridArray<double> s = mergesort2d(m, a);
+    auto ref = v;
+    std::sort(ref.begin(), ref.end());
+    EXPECT_EQ(s.values(), ref);
+  }
+}
+
+TEST(Mergesort2d, ZOrderInputsSortToo) {
+  Machine m;
+  auto v = random_doubles(12, 256);
+  auto a = GridArray<double>::from_values_square({0, 0}, v, Layout::kZOrder);
+  GridArray<double> s = mergesort2d(m, a);
+  auto ref = v;
+  std::sort(ref.begin(), ref.end());
+  EXPECT_EQ(s.values(), ref);
+}
+
+TEST(Mergesort2d, CustomComparatorDescending) {
+  Machine m;
+  auto v = random_doubles(13, 200);
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  GridArray<double> s = mergesort2d(m, a, std::greater<double>{});
+  auto ref = v;
+  std::sort(ref.begin(), ref.end(), std::greater<double>{});
+  EXPECT_EQ(s.values(), ref);
+}
+
+TEST(Mergesort2d, CorrectForEveryBaseSizeKnob) {
+  auto v = random_doubles(21, 600);
+  auto ref = v;
+  std::sort(ref.begin(), ref.end());
+  for (index_t base : {1, 2, 4, 8, 64, 600}) {
+    Machine m;
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    GridArray<double> s =
+        mergesort2d(m, a, std::less<double>{}, MergeConfig{base});
+    EXPECT_EQ(s.values(), ref) << "base=" << base;
+  }
+}
+
+TEST(Mergesort2d, EnergyConvergesToN32Shape) {
+  // Theorem V.8: Theta(n^{3/2}) energy. The normalized ratio must stop
+  // growing (contrast with bitonic, whose ratio grows like log n).
+  auto normalized = [](index_t n) {
+    Machine m;
+    auto v = random_doubles(14, static_cast<size_t>(n));
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    (void)mergesort2d(m, a);
+    return static_cast<double>(m.metrics().energy) /
+           std::pow(static_cast<double>(n), 1.5);
+  };
+  const double r1 = normalized(1024);
+  const double r2 = normalized(4096);
+  EXPECT_LT(r2 / r1, 1.25);  // flat, not log-growing
+}
+
+TEST(Mergesort2d, DepthWithinLogCubed) {
+  for (index_t n : {1024, 4096}) {
+    Machine m;
+    auto v = random_doubles(15, static_cast<size_t>(n));
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    (void)mergesort2d(m, a);
+    EXPECT_LE(static_cast<double>(m.metrics().depth()),
+              std::pow(std::log2(static_cast<double>(n)), 3))
+        << n;
+  }
+}
+
+TEST(Mergesort2d, DistanceWithinSqrtShape) {
+  Machine m;
+  auto v = random_doubles(16, 4096);
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  (void)mergesort2d(m, a);
+  EXPECT_LE(static_cast<double>(m.metrics().distance()),
+            250.0 * std::sqrt(4096.0));
+}
+
+}  // namespace
+}  // namespace scm

@@ -1,0 +1,109 @@
+// Tests of Matrix Market I/O.
+#include "spmv/mm_io.hpp"
+
+#include "spmv/generators.hpp"
+#include "spatial/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace scm {
+namespace {
+
+TEST(MatrixMarket, RoundTripsThroughStreams) {
+  const CooMatrix a = random_uniform_matrix(20, 60, 1);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const CooMatrix b = read_matrix_market(ss);
+  EXPECT_EQ(b.n_rows(), a.n_rows());
+  EXPECT_EQ(b.n_cols(), a.n_cols());
+  ASSERT_EQ(b.nnz(), a.nnz());
+  EXPECT_EQ(b.entries(), a.entries());
+}
+
+TEST(MatrixMarket, ParsesGeneralRealCoordinate) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment line\n"
+      "3 4 2\n"
+      "1 1 2.5\n"
+      "3 4 -1\n");
+  const CooMatrix a = read_matrix_market(in);
+  EXPECT_EQ(a.n_rows(), 3);
+  EXPECT_EQ(a.n_cols(), 4);
+  ASSERT_EQ(a.nnz(), 2);
+  EXPECT_EQ(a.entries()[0], (Triple{0, 0, 2.5}));
+  EXPECT_EQ(a.entries()[1], (Triple{2, 3, -1.0}));
+}
+
+TEST(MatrixMarket, ExpandsSymmetricMatrices) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 5\n"
+      "3 3 7\n");
+  const CooMatrix a = read_matrix_market(in);
+  ASSERT_EQ(a.nnz(), 3);  // (1,0), (0,1) mirrored, (2,2) diagonal once
+  EXPECT_EQ(a.entries()[0], (Triple{1, 0, 5.0}));
+  EXPECT_EQ(a.entries()[1], (Triple{0, 1, 5.0}));
+  EXPECT_EQ(a.entries()[2], (Triple{2, 2, 7.0}));
+}
+
+TEST(MatrixMarket, PatternEntriesDefaultToOne) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const CooMatrix a = read_matrix_market(in);
+  ASSERT_EQ(a.nnz(), 2);
+  EXPECT_EQ(a.entries()[0].value, 1.0);
+}
+
+TEST(MatrixMarket, RejectsMalformedInputs) {
+  {
+    std::istringstream in("not a banner\n1 1 0\n");
+    EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("%%MatrixMarket matrix array real general\n");
+    EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 1.0\n");  // out of range
+    EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n");  // truncated
+    EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+  }
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const CooMatrix a = banded_matrix(10, 1, 2);
+  const std::string path = ::testing::TempDir() + "/scm_roundtrip.mtx";
+  write_matrix_market_file(path, a);
+  const CooMatrix b = read_matrix_market_file(path);
+  EXPECT_EQ(b.entries(), a.entries());
+  EXPECT_THROW((void)read_matrix_market_file("/nonexistent/x.mtx"),
+               std::runtime_error);
+}
+
+TEST(MatrixMarket, ReadMatrixMultipliesLikeTheOriginal) {
+  const CooMatrix a = power_law_matrix(16, 8, 1.0, 3);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const CooMatrix b = read_matrix_market(ss);
+  const auto x = random_doubles(4, 16);
+  EXPECT_EQ(a.multiply_reference(x), b.multiply_reference(x));
+}
+
+}  // namespace
+}  // namespace scm

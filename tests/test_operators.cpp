@@ -1,0 +1,71 @@
+// Property tests of the operator library — in particular associativity of
+// the segmented wrapper (Section IV-C relies on SegOp<Op> being
+// associative whenever Op is).
+#include "collectives/operators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace scm {
+namespace {
+
+TEST(Operators, BasicSemantics) {
+  EXPECT_EQ(Plus{}(3, 4), 7);
+  EXPECT_EQ(Min{}(3, 4), 3);
+  EXPECT_EQ(Max{}(3, 4), 4);
+  EXPECT_EQ(First{}(3, 4), 3);
+}
+
+TEST(SegOp, HeadResetsTheAccumulation) {
+  const SegOp<Plus> op{};
+  const Seg<int> a{5, true};
+  const Seg<int> b{3, false};
+  EXPECT_EQ(op(a, b), (Seg<int>{8, true}));
+  const Seg<int> c{7, true};
+  EXPECT_EQ(op(a, c), (Seg<int>{7, true}));
+  const Seg<int> d{1, false};
+  EXPECT_EQ(op(d, b), (Seg<int>{4, false}));
+}
+
+TEST(SegOp, AssociativityPropertySweep) {
+  // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) over random triples — the property that
+  // lets the same scan algorithm run segmented scans.
+  std::mt19937_64 rng(1);
+  const SegOp<Plus> op{};
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Seg<long long> a{static_cast<long long>(rng() % 100),
+                           (rng() & 1) != 0};
+    const Seg<long long> b{static_cast<long long>(rng() % 100),
+                           (rng() & 1) != 0};
+    const Seg<long long> c{static_cast<long long>(rng() % 100),
+                           (rng() & 1) != 0};
+    ASSERT_EQ(op(op(a, b), c), op(a, op(b, c)))
+        << "trial " << trial;
+  }
+}
+
+TEST(SegOp, AssociativityHoldsForMaxToo) {
+  std::mt19937_64 rng(2);
+  const SegOp<Max> op{};
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Seg<long long> a{static_cast<long long>(rng() % 100) - 50,
+                           (rng() & 1) != 0};
+    const Seg<long long> b{static_cast<long long>(rng() % 100) - 50,
+                           (rng() & 1) != 0};
+    const Seg<long long> c{static_cast<long long>(rng() % 100) - 50,
+                           (rng() & 1) != 0};
+    ASSERT_EQ(op(op(a, b), c), op(a, op(b, c)));
+  }
+}
+
+TEST(SegOp, FirstGivesSegmentedBroadcastSemantics) {
+  const SegOp<First> op{};
+  const Seg<int> head{42, true};
+  const Seg<int> tail{-1, false};
+  EXPECT_EQ(op(head, tail).value, 42);
+  EXPECT_EQ(op(op(head, tail), tail).value, 42);
+}
+
+}  // namespace
+}  // namespace scm

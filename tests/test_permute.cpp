@@ -1,0 +1,82 @@
+// Tests of direct permutation routing and the Lemma V.1 lower-bound
+// witness.
+#include "sort/permute.hpp"
+
+#include "spatial/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace scm {
+namespace {
+
+TEST(Permute, AppliesArbitraryPermutations) {
+  std::mt19937_64 rng(2);
+  for (index_t n : {1, 4, 16, 100, 256}) {
+    std::vector<index_t> perm(static_cast<size_t>(n));
+    std::iota(perm.begin(), perm.end(), index_t{0});
+    std::shuffle(perm.begin(), perm.end(), rng);
+    std::vector<int> v(static_cast<size_t>(n));
+    std::iota(v.begin(), v.end(), 0);
+    Machine m;
+    auto a = GridArray<int>::from_values_square({0, 0}, v);
+    GridArray<int> out = permute(m, a, perm);
+    for (index_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[perm[static_cast<size_t>(i)]].value, v[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+TEST(Permute, IdentityIsFree) {
+  std::vector<index_t> perm(64);
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  Machine m;
+  GridArray<int> a(Rect{0, 0, 8, 8}, Layout::kRowMajor, 64);
+  (void)permute(m, a, perm);
+  EXPECT_EQ(m.metrics().energy, 0);
+}
+
+TEST(Permute, EnergyEqualsSumOfDistances) {
+  std::mt19937_64 rng(5);
+  std::vector<index_t> perm(256);
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  std::shuffle(perm.begin(), perm.end(), rng);
+  GridArray<int> a(Rect{0, 0, 16, 16}, Layout::kRowMajor, 256);
+  Machine m;
+  (void)permute(m, a, perm);
+  EXPECT_EQ(m.metrics().energy, permutation_energy_lower_bound(a, perm));
+}
+
+TEST(ReversalPermutation, WitnessesTheLowerBound) {
+  // Lemma V.1: reversing an n-element row-major layout costs
+  // Omega(n^{3/2}): the first h/3 rows travel at least h/3 each.
+  for (index_t side : {8, 16, 32, 64}) {
+    const index_t n = side * side;
+    GridArray<int> a(Rect{0, 0, side, side}, Layout::kRowMajor, n);
+    const std::vector<index_t> perm = reversal_permutation(n);
+    const index_t lb = permutation_energy_lower_bound(a, perm);
+    const double floor_bound =
+        (static_cast<double>(n) / 3.0) * (static_cast<double>(side) / 3.0);
+    EXPECT_GE(static_cast<double>(lb), floor_bound) << side;
+    // And the direct routing achieves O(n^{3/2}).
+    EXPECT_LE(static_cast<double>(lb),
+              2.0 * std::pow(static_cast<double>(n), 1.5));
+  }
+}
+
+TEST(ReversalPermutation, NormalizedEnergyConverges) {
+  auto normalized = [](index_t side) {
+    const index_t n = side * side;
+    GridArray<int> a(Rect{0, 0, side, side}, Layout::kRowMajor, n);
+    return static_cast<double>(permutation_energy_lower_bound(
+               a, reversal_permutation(n))) /
+           std::pow(static_cast<double>(n), 1.5);
+  };
+  EXPECT_NEAR(normalized(32), normalized(128), 0.05);
+}
+
+}  // namespace
+}  // namespace scm

@@ -1,0 +1,120 @@
+// Tests of rank selection in two sorted arrays (Section V-C-c, Lemma V.6).
+#include "sort/rank_select_sorted.hpp"
+
+#include "spatial/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace scm {
+namespace {
+
+// Builds two sorted Z-order range arrays on one parent square and checks
+// the split for every requested k.
+void check_splits(index_t na, index_t nb, std::uint64_t seed,
+                  const std::vector<index_t>& ks) {
+  auto va = random_doubles(seed, static_cast<size_t>(na));
+  auto vb = random_doubles(seed + 1, static_cast<size_t>(nb));
+  std::sort(va.begin(), va.end());
+  std::sort(vb.begin(), vb.end());
+  const index_t side = square_side_for(na + nb);
+  const Rect parent = square_at({0, 0}, side);
+  GridArray<double> a(parent, Layout::kZOrder, na, 0);
+  for (index_t i = 0; i < na; ++i) a[i].value = va[static_cast<size_t>(i)];
+  GridArray<double> b(parent, Layout::kZOrder, nb, na);
+  for (index_t i = 0; i < nb; ++i) b[i].value = vb[static_cast<size_t>(i)];
+
+  std::vector<double> all = va;
+  all.insert(all.end(), vb.begin(), vb.end());
+  std::sort(all.begin(), all.end());
+
+  for (index_t k : ks) {
+    Machine m;
+    const SplitResult r = rank_select_two_sorted(
+        m, a, b, k, parent.origin(), std::less<double>{});
+    ASSERT_EQ(r.a_count + r.b_count, k) << "k=" << k;
+    ASSERT_GE(r.a_count, 0);
+    ASSERT_LE(r.a_count, na);
+    // The prefixes must be exactly the k smallest of the union.
+    std::vector<double> got(va.begin(), va.begin() + r.a_count);
+    got.insert(got.end(), vb.begin(), vb.begin() + r.b_count);
+    std::sort(got.begin(), got.end());
+    const std::vector<double> want(all.begin(), all.begin() + k);
+    ASSERT_EQ(got, want) << "k=" << k << " na=" << na << " nb=" << nb;
+  }
+}
+
+TEST(RankSelectTwoSorted, ExhaustiveSmall) {
+  for (index_t na : {0, 1, 3, 8}) {
+    for (index_t nb : {1, 2, 7}) {
+      std::vector<index_t> ks;
+      for (index_t k = 0; k <= na + nb; ++k) ks.push_back(k);
+      check_splits(na, nb, 42 + na * 10 + nb, ks);
+    }
+  }
+}
+
+TEST(RankSelectTwoSorted, MediumAllK) {
+  std::vector<index_t> ks;
+  for (index_t k = 0; k <= 96; ++k) ks.push_back(k);
+  check_splits(40, 56, 7, ks);
+}
+
+TEST(RankSelectTwoSorted, LargeSpotChecks) {
+  check_splits(500, 524, 11,
+               {1, 2, 100, 256, 511, 512, 513, 777, 1023, 1024});
+  check_splits(1024, 0, 12, {1, 512, 1024});
+  check_splits(0, 777, 13, {1, 400, 777});
+  check_splits(1000, 24, 14, {1, 12, 24, 25, 500, 1024});
+}
+
+TEST(RankSelectTwoSorted, InterleavedAndDisjointValueRanges) {
+  // B's values all above A's: the split must exhaust A first.
+  const index_t na = 100;
+  const index_t nb = 100;
+  const index_t side = square_side_for(na + nb);
+  const Rect parent = square_at({0, 0}, side);
+  GridArray<double> a(parent, Layout::kZOrder, na, 0);
+  GridArray<double> b(parent, Layout::kZOrder, nb, na);
+  for (index_t i = 0; i < na; ++i) a[i].value = static_cast<double>(i);
+  for (index_t i = 0; i < nb; ++i) b[i].value = 1000.0 + i;
+  for (index_t k : {50, 100, 150}) {
+    Machine m;
+    const SplitResult r = rank_select_two_sorted(
+        m, a, b, k, parent.origin(), std::less<double>{});
+    EXPECT_EQ(r.a_count, std::min<index_t>(k, na)) << k;
+    EXPECT_EQ(r.b_count, k - r.a_count);
+  }
+}
+
+TEST(RankSelectTwoSorted, CostBoundsLemmaV6) {
+  const index_t na = 2048;
+  const index_t nb = 2048;
+  auto va = random_doubles(21, static_cast<size_t>(na));
+  auto vb = random_doubles(22, static_cast<size_t>(nb));
+  std::sort(va.begin(), va.end());
+  std::sort(vb.begin(), vb.end());
+  const Rect parent = square_at({0, 0}, square_side_for(na + nb));
+  GridArray<double> a(parent, Layout::kZOrder, na, 0);
+  GridArray<double> b(parent, Layout::kZOrder, nb, na);
+  for (index_t i = 0; i < na; ++i) a[i].value = va[static_cast<size_t>(i)];
+  for (index_t i = 0; i < nb; ++i) b[i].value = vb[static_cast<size_t>(i)];
+  Machine m;
+  (void)rank_select_two_sorted(m, a, b, (na + nb) / 2, parent.origin(),
+                               std::less<double>{});
+  const double n = static_cast<double>(na + nb);
+  // O(n^{5/4}) energy, O(log n) depth, O(sqrt n) distance. The energy
+  // constant is dominated by the All-Pairs Sort of the ~6 sqrt(n)-wide
+  // windows (6^{5/2} ~ 88 on its own); the growth *shape* is fitted by
+  // bench_rank_two_arrays.
+  EXPECT_LE(static_cast<double>(m.metrics().energy),
+            300.0 * std::pow(n, 1.25));
+  EXPECT_LE(static_cast<double>(m.metrics().depth()), 6.0 * std::log2(n));
+  EXPECT_LE(static_cast<double>(m.metrics().distance()),
+            60.0 * std::sqrt(n));
+}
+
+}  // namespace
+}  // namespace scm

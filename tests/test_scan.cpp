@@ -1,0 +1,212 @@
+// Tests of the energy-optimal Z-order scan (Section IV-C, Lemma IV.3):
+// correctness against std::inclusive_scan across sizes, operators, and
+// seeds; segmented scans; and the Theta(n) / O(log n) / Theta(sqrt n)
+// cost shape.
+#include "collectives/scan.hpp"
+
+#include "spatial/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+namespace scm {
+namespace {
+
+class ScanSweep
+    : public ::testing::TestWithParam<std::tuple<index_t, std::uint64_t>> {};
+
+TEST_P(ScanSweep, MatchesInclusiveScan) {
+  const auto [n, seed] = GetParam();
+  Machine m;
+  auto vals = random_ints(seed, static_cast<size_t>(n), -50, 50);
+  std::vector<long long> v(vals.begin(), vals.end());
+  auto a = GridArray<long long>::from_values_square({0, 0}, v);
+  GridArray<long long> out = scan(m, a, Plus{});
+  std::vector<long long> ref(v.size());
+  std::inclusive_scan(v.begin(), v.end(), ref.begin());
+  EXPECT_EQ(out.values(), ref) << "n=" << n << " seed=" << seed;
+}
+
+TEST_P(ScanSweep, MaxOperator) {
+  const auto [n, seed] = GetParam();
+  Machine m;
+  auto vals = random_ints(seed + 1000, static_cast<size_t>(n), -50, 50);
+  std::vector<long long> v(vals.begin(), vals.end());
+  auto a = GridArray<long long>::from_values_square({0, 0}, v);
+  GridArray<long long> out = scan(m, a, Max{});
+  std::vector<long long> ref(v.size());
+  std::inclusive_scan(v.begin(), v.end(), ref.begin(),
+                      [](long long x, long long y) { return std::max(x, y); });
+  EXPECT_EQ(out.values(), ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, ScanSweep,
+    ::testing::Combine(::testing::Values<index_t>(1, 2, 3, 4, 5, 15, 16, 17,
+                                                  63, 64, 100, 256, 1000,
+                                                  1024, 4096),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+// Order-sensitive value for the non-commutativity test below.
+struct Interval {
+  long long lo;
+  long long hi;
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+struct Compose {
+  Interval operator()(const Interval& a, const Interval& b) const {
+    return Interval{a.lo, b.hi};  // non-commutative
+  }
+};
+
+TEST(Scan, NonCommutativeOperatorRespectsOrder) {
+  // Interval composition is order-sensitive: scan must combine strictly
+  // left to right.
+  Machine m;
+  std::vector<Interval> v;
+  for (long long i = 0; i < 64; ++i) v.push_back({i, i});
+  auto a = GridArray<Interval>::from_values_square({0, 0}, v);
+  GridArray<Interval> out = scan(m, a, Compose{});
+  for (index_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].value, (Interval{0, i}));
+  }
+}
+
+TEST(Scan, SegmentedScanMatchesPerSegmentScan) {
+  for (std::uint64_t seed : {7u, 8u, 9u}) {
+    Machine m;
+    auto vals = random_ints(seed, 256, -10, 10);
+    std::mt19937_64 rng(seed * 17);
+    std::vector<Seg<long long>> sv;
+    for (size_t i = 0; i < vals.size(); ++i) {
+      sv.push_back({vals[i], i == 0 || rng() % 5 == 0});
+    }
+    auto a = GridArray<Seg<long long>>::from_values_square({0, 0}, sv);
+    GridArray<Seg<long long>> out = segmented_scan(m, a, Plus{});
+    long long run = 0;
+    for (size_t i = 0; i < sv.size(); ++i) {
+      if (sv[i].head) run = 0;
+      run += sv[i].value;
+      EXPECT_EQ(out[static_cast<index_t>(i)].value.value, run) << i;
+    }
+  }
+}
+
+TEST(Scan, SegmentedScanSingleSegmentEqualsPlainScan) {
+  Machine m;
+  auto vals = random_ints(11, 64, 0, 9);
+  std::vector<Seg<long long>> sv;
+  for (size_t i = 0; i < vals.size(); ++i) sv.push_back({vals[i], i == 0});
+  auto a = GridArray<Seg<long long>>::from_values_square({0, 0}, sv);
+  GridArray<Seg<long long>> out = segmented_scan(m, a, Plus{});
+  std::vector<long long> ref(vals.size());
+  std::inclusive_scan(vals.begin(), vals.end(), ref.begin());
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(out[static_cast<index_t>(i)].value.value, ref[i]);
+  }
+}
+
+TEST(Scan, SegmentedMinScanForLabelPropagation) {
+  // The graph-components round uses a segmented MIN scan; verify the
+  // per-segment running minimum semantics directly.
+  Machine m;
+  std::vector<Seg<long long>> sv;
+  std::mt19937_64 rng(21);
+  for (int i = 0; i < 128; ++i) {
+    sv.push_back({static_cast<long long>(rng() % 100), i % 9 == 0});
+  }
+  auto a = GridArray<Seg<long long>>::from_values_square({0, 0}, sv);
+  GridArray<Seg<long long>> out = segmented_scan(m, a, Min{});
+  long long run = 0;
+  for (size_t i = 0; i < sv.size(); ++i) {
+    run = sv[i].head ? sv[i].value : std::min(run, sv[i].value);
+    EXPECT_EQ(out[static_cast<index_t>(i)].value.value, run) << i;
+  }
+}
+
+TEST(Scan, SegmentedScanAllHeadsIsIdentity) {
+  Machine m;
+  std::vector<Seg<long long>> sv;
+  for (long long i = 0; i < 32; ++i) sv.push_back({i * 3, true});
+  auto a = GridArray<Seg<long long>>::from_values_square({0, 0}, sv);
+  GridArray<Seg<long long>> out = segmented_scan(m, a, Plus{});
+  for (index_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].value.value, i * 3);
+  }
+}
+
+TEST(Scan, ExclusiveScanShiftsTheInclusiveResult) {
+  for (index_t n : {1, 2, 5, 64, 100, 256}) {
+    Machine m;
+    auto vals = random_ints(static_cast<std::uint64_t>(n),
+                            static_cast<size_t>(n), -9, 9);
+    std::vector<long long> v(vals.begin(), vals.end());
+    auto a = GridArray<long long>::from_values_square({0, 0}, v);
+    GridArray<long long> out = exclusive_scan(m, a, Plus{}, 0LL);
+    std::vector<long long> ref(v.size());
+    std::exclusive_scan(v.begin(), v.end(), ref.begin(), 0LL);
+    EXPECT_EQ(out.values(), ref) << n;
+  }
+}
+
+TEST(Scan, ExclusiveScanKeepsLinearEnergyLogDepth) {
+  Machine m;
+  auto vals = random_ints(3, 4096, 0, 9);
+  std::vector<long long> v(vals.begin(), vals.end());
+  auto a = GridArray<long long>::from_values_square({0, 0}, v);
+  (void)exclusive_scan(m, a, Plus{}, 0LL);
+  EXPECT_LE(m.metrics().energy, 10 * 4096);
+  EXPECT_LE(static_cast<double>(m.metrics().depth()),
+            3.0 * std::log2(4096.0) + 2);
+}
+
+TEST(Scan, EnergyIsLinear) {
+  auto energy_per_element = [](index_t n) {
+    Machine m;
+    auto vals = random_ints(1, static_cast<size_t>(n), 0, 9);
+    std::vector<long long> v(vals.begin(), vals.end());
+    auto a = GridArray<long long>::from_values_square({0, 0}, v);
+    (void)scan(m, a, Plus{});
+    return static_cast<double>(m.metrics().energy) / static_cast<double>(n);
+  };
+  // Lemma IV.3: energy per element converges to a constant.
+  const double e1 = energy_per_element(1024);
+  const double e2 = energy_per_element(4096);
+  const double e3 = energy_per_element(16384);
+  EXPECT_NEAR(e2, e3, 0.4);
+  EXPECT_LT(std::abs(e3 - e2), std::abs(e2 - e1) + 0.3);
+  EXPECT_LT(e3, 8.0);  // small absolute constant
+}
+
+TEST(Scan, DepthIsLogarithmic) {
+  for (index_t n : {256, 1024, 4096, 16384}) {
+    Machine m;
+    auto vals = random_ints(2, static_cast<size_t>(n), 0, 9);
+    std::vector<long long> v(vals.begin(), vals.end());
+    auto a = GridArray<long long>::from_values_square({0, 0}, v);
+    (void)scan(m, a, Plus{});
+    EXPECT_LE(static_cast<double>(m.metrics().depth()),
+              3.0 * std::log2(static_cast<double>(n)))
+        << n;
+  }
+}
+
+TEST(Scan, DistanceIsOrderSqrtN) {
+  for (index_t n : {1024, 4096, 16384}) {
+    Machine m;
+    auto vals = random_ints(3, static_cast<size_t>(n), 0, 9);
+    std::vector<long long> v(vals.begin(), vals.end());
+    auto a = GridArray<long long>::from_values_square({0, 0}, v);
+    (void)scan(m, a, Plus{});
+    EXPECT_LE(static_cast<double>(m.metrics().distance()),
+              8.0 * std::sqrt(static_cast<double>(n)))
+        << n;
+  }
+}
+
+}  // namespace
+}  // namespace scm

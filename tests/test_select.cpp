@@ -1,0 +1,192 @@
+// Tests of randomized rank selection (Section VI, Theorem VI.3).
+#include "select/select.hpp"
+
+#include "spatial/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace scm {
+namespace {
+
+double reference_rank(std::vector<double> v, index_t k) {
+  std::nth_element(v.begin(), v.begin() + (k - 1), v.end());
+  return v[static_cast<size_t>(k - 1)];
+}
+
+class SelectSweep
+    : public ::testing::TestWithParam<std::tuple<index_t, std::uint64_t>> {};
+
+TEST_P(SelectSweep, MatchesNthElementAcrossRanks) {
+  const auto [n, seed] = GetParam();
+  auto v = random_doubles(seed, static_cast<size_t>(n));
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  for (index_t k : {index_t{1}, n / 4 + 1, (n + 1) / 2, 3 * n / 4 + 1, n}) {
+    Machine m;
+    const SelectResult<double> r = select_rank(m, a, k, seed * 31 + k);
+    EXPECT_EQ(r.value, reference_rank(v, k))
+        << "n=" << n << " k=" << k << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, SelectSweep,
+    ::testing::Combine(::testing::Values<index_t>(16, 64, 100, 500, 1024,
+                                                  4096),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(Select, TinyInputs) {
+  for (index_t n : {1, 2, 3, 4, 7}) {
+    auto v = random_doubles(5, static_cast<size_t>(n));
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    for (index_t k = 1; k <= n; ++k) {
+      Machine m;
+      EXPECT_EQ(select_rank(m, a, k, 77).value, reference_rank(v, k));
+    }
+  }
+}
+
+TEST(Select, DuplicateKeys) {
+  std::vector<long long> v;
+  std::mt19937_64 rng(6);
+  for (int i = 0; i < 1000; ++i) v.push_back(static_cast<long long>(rng() % 9));
+  auto a = GridArray<long long>::from_values_square({0, 0}, v,
+                                                    Layout::kRowMajor);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (index_t k : {index_t{1}, index_t{250}, index_t{500}, index_t{1000}}) {
+    Machine m;
+    EXPECT_EQ(select_rank(m, a, k, k).value,
+              sorted[static_cast<size_t>(k - 1)]);
+  }
+}
+
+TEST(Select, AllEqualKeys) {
+  std::vector<int> v(500, 42);
+  auto a = GridArray<int>::from_values_square({0, 0}, v, Layout::kRowMajor);
+  Machine m;
+  EXPECT_EQ(select_rank(m, a, 250, 1).value, 42);
+}
+
+TEST(Select, MedianHelper) {
+  auto v = random_doubles(8, 999);
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  Machine m;
+  EXPECT_EQ(select_median(m, a, 3).value, reference_rank(v, 500));
+}
+
+TEST(Select, DeterministicGivenSeed) {
+  auto v = random_doubles(9, 2000);
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  Machine m1;
+  Machine m2;
+  const auto r1 = select_rank(m1, a, 700, 123);
+  const auto r2 = select_rank(m2, a, 700, 123);
+  EXPECT_EQ(r1.value, r2.value);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  EXPECT_EQ(m1.metrics(), m2.metrics());
+}
+
+TEST(Select, ConstantIterationsAcrossSeeds) {
+  // Theorem VI.3: O(1) iterations w.h.p. Over many seeds the iteration
+  // count must stay small and fallbacks rare.
+  auto v = random_doubles(10, 4096);
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  index_t max_iters = 0;
+  index_t fallbacks = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Machine m;
+    const auto r = select_rank(m, a, 2048, seed);
+    EXPECT_EQ(r.value, reference_rank(v, 2048));
+    max_iters = std::max(max_iters, r.iterations);
+    fallbacks += r.fell_back ? 1 : 0;
+  }
+  EXPECT_LE(max_iters, 10);
+  EXPECT_LE(fallbacks, 1);
+}
+
+TEST(Select, LinearEnergyLogSquaredDepth) {
+  for (index_t n : {1024, 4096, 16384}) {
+    auto v = random_doubles(11, static_cast<size_t>(n));
+    auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                   Layout::kRowMajor);
+    Machine m;
+    const auto r = select_rank(m, a, (n + 1) / 2, 7);
+    ASSERT_FALSE(r.fell_back);
+    const double nd = static_cast<double>(n);
+    EXPECT_LE(static_cast<double>(m.metrics().energy), 250.0 * nd) << n;
+    EXPECT_LE(static_cast<double>(m.metrics().depth()),
+              4.0 * std::pow(std::log2(nd), 2))
+        << n;
+    EXPECT_LE(static_cast<double>(m.metrics().distance()),
+              70.0 * std::sqrt(nd))
+        << n;
+  }
+}
+
+TEST(TopK, ReturnsTheKSmallestSorted) {
+  auto v = random_doubles(14, 300);
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  for (index_t k : {index_t{0}, index_t{1}, index_t{10}, index_t{64},
+                    index_t{300}}) {
+    Machine m;
+    GridArray<double> out = top_k(m, a, k, 5);
+    auto ref = v;
+    std::sort(ref.begin(), ref.end());
+    ref.resize(static_cast<size_t>(k));
+    EXPECT_EQ(out.values(), ref) << "k=" << k;
+  }
+}
+
+TEST(TopK, DuplicatesResolveByInputOrder) {
+  std::vector<int> v{5, 3, 5, 3, 5, 1, 3, 5};
+  auto a = GridArray<int>::from_values_square({0, 0}, v, Layout::kRowMajor);
+  Machine m;
+  GridArray<int> out = top_k(m, a, 4, 9);
+  EXPECT_EQ(out.values(), (std::vector<int>{1, 3, 3, 3}));
+}
+
+TEST(TopK, CheaperThanAFullSortForSmallK) {
+  const index_t n = 4096;
+  auto v = random_doubles(15, static_cast<size_t>(n));
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  Machine mk;
+  (void)top_k(mk, a, 32, 3);
+  Machine ms;
+  (void)mergesort2d(ms, a);
+  EXPECT_LT(mk.metrics().energy * 5, ms.metrics().energy);
+}
+
+TEST(Select, LargerSamplingConstantsStayCorrect) {
+  auto v = random_doubles(13, 2048);
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  const double want = reference_rank(v, 1024);
+  for (double c : {3.0, 6.0, 12.0}) {
+    Machine m;
+    const auto r = select_rank(m, a, 1024, 17, std::less<double>{},
+                               SelectConfig{c});
+    EXPECT_EQ(r.value, want) << "c=" << c;
+  }
+}
+
+TEST(Select, CustomComparatorSelectsUnderThatOrder) {
+  auto v = random_doubles(12, 500);
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  Machine m;
+  const auto r = select_rank(m, a, 1, 5, std::greater<double>{});
+  EXPECT_EQ(r.value, *std::max_element(v.begin(), v.end()));
+}
+
+}  // namespace
+}  // namespace scm

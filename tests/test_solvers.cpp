@@ -1,0 +1,140 @@
+// Tests of the iterative solvers running end-to-end on the spatial SpMV
+// and reduce collectives.
+#include "solvers/solvers.hpp"
+
+#include "solvers/blas1.hpp"
+#include "spmv/generators.hpp"
+#include "spatial/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scm {
+namespace {
+
+using solvers::SolveOptions;
+using solvers::SolveResult;
+
+double residual_norm(const CooMatrix& a, const std::vector<double>& x,
+                     const std::vector<double>& b) {
+  const auto ax = a.multiply_reference(x);
+  double r2 = 0.0;
+  for (size_t i = 0; i < b.size(); ++i) {
+    r2 += (ax[i] - b[i]) * (ax[i] - b[i]);
+  }
+  return std::sqrt(r2);
+}
+
+TEST(Blas1, DotAndNorm) {
+  Machine m;
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{4, -5, 6};
+  EXPECT_NEAR(solvers::dot(m, a, b), 4 - 10 + 18, 1e-12);
+  EXPECT_NEAR(solvers::norm2(m, a), 14.0, 1e-12);
+  EXPECT_GT(m.metrics().messages, 0);  // the reduce really ran on the grid
+}
+
+TEST(Blas1, AxpyAndScale) {
+  Machine m;
+  std::vector<double> y{1, 1, 1};
+  solvers::axpy(m, 2.0, {1, 2, 3}, y);
+  EXPECT_EQ(y, (std::vector<double>{3, 5, 7}));
+  solvers::scale(m, 0.5, y);
+  EXPECT_EQ(y, (std::vector<double>{1.5, 2.5, 3.5}));
+}
+
+TEST(ConjugateGradient, SolvesPoisson) {
+  Machine m;
+  const CooMatrix a = poisson2d_matrix(8);  // SPD, 64 unknowns
+  std::vector<double> b(64, 0.0);
+  b[27] = 1.0;
+  b[5] = -0.5;
+  const SolveResult r = solvers::conjugate_gradient(m, a, b,
+                                                    {200, 1e-12});
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(residual_norm(a, r.x, b), 1e-8);
+  EXPECT_LE(r.iterations, 64 + 5);  // CG converges in <= n steps
+}
+
+TEST(ConjugateGradient, DiagonalSystemConvergesInOneStep) {
+  Machine m;
+  const CooMatrix a = diagonal_matrix({2.0, 4.0, 8.0, 16.0});
+  const std::vector<double> b{2.0, 8.0, 8.0, 32.0};
+  const SolveResult r = solvers::conjugate_gradient(m, a, b);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-9);
+  EXPECT_NEAR(r.x[3], 2.0, 1e-9);
+}
+
+TEST(ConjugateGradient, RejectsNonSquare) {
+  Machine m;
+  CooMatrix a(3, 4);
+  EXPECT_THROW(
+      (void)solvers::conjugate_gradient(m, a, std::vector<double>(3, 1.0)),
+      std::invalid_argument);
+}
+
+TEST(Jacobi, SolvesDiagonallyDominantSystem) {
+  Machine m;
+  const index_t n = 32;
+  CooMatrix a(n, n);
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> off(-0.2, 0.2);
+  for (index_t i = 0; i < n; ++i) {
+    a.add(i, i, 4.0);
+    a.add(i, (i + 1) % n, off(rng));
+    a.add(i, (i + 5) % n, off(rng));
+  }
+  const auto b = random_doubles(5, static_cast<size_t>(n));
+  const SolveResult r = solvers::jacobi(m, a, b, {300, 1e-10});
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(residual_norm(a, r.x, b), 1e-7);
+}
+
+TEST(Jacobi, RejectsZeroDiagonal) {
+  Machine m;
+  CooMatrix a(2, 2);
+  a.add(0, 0, 1.0);
+  a.add(0, 1, 1.0);  // row 1 has no diagonal
+  EXPECT_THROW((void)solvers::jacobi(m, a, std::vector<double>(2, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(PowerIteration, FindsDominantEigenpairOfDiagonal) {
+  Machine m;
+  const CooMatrix a = diagonal_matrix({1.0, 5.0, 3.0, 2.0});
+  const SolveResult r = solvers::power_iteration(
+      m, a, {1.0, 1.0, 1.0, 1.0}, {500, 1e-12});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.residual, 5.0, 1e-6);  // dominant eigenvalue
+  EXPECT_NEAR(std::abs(r.x[1]), 1.0, 1e-4);
+}
+
+TEST(PowerIteration, SymmetricStencil) {
+  Machine m;
+  const CooMatrix a = poisson2d_matrix(5);
+  const auto x0 = random_doubles(6, 25);
+  const SolveResult r = solvers::power_iteration(m, a, x0, {800, 1e-10});
+  EXPECT_TRUE(r.converged);
+  // The 2-D Poisson dominant eigenvalue is 4 + 4 sin^2(pi*s/(2(s+1)))
+  // -ish; just check the Rayleigh quotient matches A x = lambda x.
+  const auto ax = a.multiply_reference(r.x);
+  for (size_t i = 0; i < ax.size(); ++i) {
+    EXPECT_NEAR(ax[i], r.residual * r.x[i], 5e-4);
+  }
+}
+
+TEST(Solvers, CostsAreAccountedPerPhase) {
+  Machine m;
+  const CooMatrix a = poisson2d_matrix(4);
+  std::vector<double> b(16, 1.0);
+  (void)solvers::conjugate_gradient(m, a, b, {50, 1e-10});
+  EXPECT_GT(m.phase("solver_cg").energy, 0);
+  EXPECT_GT(m.phase("spmv").energy, 0);
+  EXPECT_LE(m.phase("spmv").energy, m.phase("solver_cg").energy);
+}
+
+}  // namespace
+}  // namespace scm

@@ -1,0 +1,93 @@
+// Tests of the multi-vector SpMV (shared-sort SpMM extension).
+#include "spmv/spmm.hpp"
+
+#include "spmv/generators.hpp"
+#include "spmv/spmv.hpp"
+#include "spatial/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scm {
+namespace {
+
+TEST(SpmvMulti, MatchesReferencePerVector) {
+  const index_t n = 64;
+  const CooMatrix a = random_uniform_matrix(n, 3 * n, 1);
+  std::vector<std::vector<double>> xs;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    xs.push_back(random_doubles(10 + s, static_cast<size_t>(n)));
+  }
+  Machine m;
+  const auto ys = spmv_multi(m, a, xs);
+  ASSERT_EQ(ys.size(), xs.size());
+  for (size_t v = 0; v < xs.size(); ++v) {
+    const auto ref = a.multiply_reference(xs[v]);
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_NEAR(ys[v][i], ref[i], 1e-9 * (1.0 + std::abs(ref[i])))
+          << "v=" << v << " i=" << i;
+    }
+  }
+}
+
+TEST(SpmvMulti, AgreesWithSingleVectorSpmv) {
+  const CooMatrix a = banded_matrix(40, 2, 3);
+  const auto x = random_doubles(4, 40);
+  Machine m1;
+  const auto multi = spmv_multi(m1, a, {x});
+  Machine m2;
+  const auto single = spmv(m2, a, x).y;
+  for (size_t i = 0; i < single.size(); ++i) {
+    EXPECT_NEAR(multi[0][i], single[i], 1e-12);
+  }
+}
+
+TEST(SpmvMulti, EdgeCases) {
+  Machine m;
+  CooMatrix empty(4, 4);
+  const auto ys = spmv_multi(m, empty, {std::vector<double>(4, 1.0)});
+  EXPECT_EQ(ys[0], std::vector<double>(4, 0.0));
+
+  const CooMatrix a = diagonal_matrix({1.0, 2.0});
+  EXPECT_TRUE(spmv_multi(m, a, {}).empty());
+  EXPECT_THROW((void)spmv_multi(m, a, {std::vector<double>(3, 0.0)}),
+               std::invalid_argument);
+}
+
+TEST(SpmvMulti, AmortizesTheSortsAcrossVectors) {
+  // k vectors through spmv_multi must cost much less than k independent
+  // spmv() calls: the structure sorts are shared.
+  const index_t n = 256;
+  const index_t k = 8;
+  const CooMatrix a = random_uniform_matrix(n, 2 * n, 5);
+  std::vector<std::vector<double>> xs;
+  for (index_t v = 0; v < k; ++v) {
+    xs.push_back(random_doubles(20 + v, static_cast<size_t>(n)));
+  }
+  Machine multi;
+  (void)spmv_multi(multi, a, xs);
+  Machine separate;
+  for (const auto& x : xs) (void)spmv(separate, a, x);
+  EXPECT_LT(static_cast<double>(multi.metrics().energy),
+            0.45 * static_cast<double>(separate.metrics().energy));
+}
+
+TEST(SpmvMulti, PerVectorCostIsFarBelowASort) {
+  // Marginal cost per extra vector: route + scans, not a mergesort.
+  const index_t n = 256;
+  const CooMatrix a = random_uniform_matrix(n, 2 * n, 6);
+  std::vector<std::vector<double>> one{random_doubles(7, 256)};
+  std::vector<std::vector<double>> two = one;
+  two.push_back(random_doubles(8, 256));
+  Machine m1;
+  (void)spmv_multi(m1, a, one);
+  Machine m2;
+  (void)spmv_multi(m2, a, two);
+  const double marginal = static_cast<double>(m2.metrics().energy) -
+                          static_cast<double>(m1.metrics().energy);
+  EXPECT_LT(marginal, 0.2 * static_cast<double>(m1.metrics().energy));
+}
+
+}  // namespace
+}  // namespace scm

@@ -1,0 +1,189 @@
+// Tests of the SpMV implementations (Section VIII): the direct
+// sort-and-scan algorithm (Theorem VIII.2) and the PRAM-simulation
+// baseline, against a dense host reference over varied matrix families.
+#include "spmv/spmv.hpp"
+
+#include "spmv/generators.hpp"
+#include "spmv/pram_spmv.hpp"
+#include "spatial/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scm {
+namespace {
+
+void expect_close(const std::vector<double>& got,
+                  const std::vector<double>& want, const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-9 * (1.0 + std::abs(want[i])))
+        << label << " row " << i;
+  }
+}
+
+class SpmvMatrixFamilies : public ::testing::TestWithParam<int> {};
+
+CooMatrix make_matrix(int family, index_t n, std::uint64_t seed) {
+  switch (family) {
+    case 0:
+      return random_uniform_matrix(n, 2 * n, seed);
+    case 1:
+      return banded_matrix(n, 2, seed);
+    case 2:
+      return diagonal_matrix(random_doubles(seed, static_cast<size_t>(n)));
+    case 3:
+      return power_law_matrix(n, n / 4 + 2, 1.0, seed);
+    default:
+      return poisson2d_matrix(isqrt(n));
+  }
+}
+
+TEST_P(SpmvMatrixFamilies, DirectMatchesReference) {
+  const int family = GetParam();
+  for (index_t n : {16, 49, 100}) {
+    Machine m;
+    const CooMatrix a = make_matrix(family, n, 17 + n);
+    const auto x = random_doubles(23 + n, static_cast<size_t>(a.n_cols()));
+    const SpmvResult r = spmv(m, a, x);
+    expect_close(r.y, a.multiply_reference(x), "direct");
+  }
+}
+
+TEST_P(SpmvMatrixFamilies, PramBaselineMatchesReference) {
+  const int family = GetParam();
+  for (index_t n : {16, 49}) {
+    Machine m;
+    const CooMatrix a = make_matrix(family, n, 31 + n);
+    const auto x = random_doubles(37 + n, static_cast<size_t>(a.n_cols()));
+    expect_close(spmv_pram(m, a, x), a.multiply_reference(x), "pram");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SpmvMatrixFamilies,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(Spmv, EmptyRowsAndColumns) {
+  CooMatrix a(12, 12);
+  a.add(3, 4, 2.0);
+  a.add(3, 7, 1.0);
+  a.add(9, 0, -1.5);
+  const auto x = random_doubles(1, 12);
+  Machine m;
+  const SpmvResult r = spmv(m, a, x);
+  expect_close(r.y, a.multiply_reference(x), "sparse rows");
+  EXPECT_EQ(r.y[0], 0.0);
+  EXPECT_EQ(r.y[11], 0.0);
+}
+
+TEST(Spmv, EmptyMatrixGivesZeroVector) {
+  CooMatrix a(8, 8);
+  Machine m;
+  const SpmvResult r = spmv(m, a, std::vector<double>(8, 1.0));
+  EXPECT_EQ(r.y, std::vector<double>(8, 0.0));
+  EXPECT_EQ(m.metrics().energy, 0);
+}
+
+TEST(Spmv, SingleEntry) {
+  CooMatrix a(4, 4);
+  a.add(2, 1, 3.0);
+  Machine m;
+  const SpmvResult r = spmv(m, a, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(r.y, (std::vector<double>{0.0, 0.0, 6.0, 0.0}));
+}
+
+TEST(Spmv, DuplicateCoordinatesActAdditively) {
+  CooMatrix a(4, 4);
+  a.add(1, 1, 2.0);
+  a.add(1, 1, 3.0);
+  Machine m;
+  const SpmvResult r = spmv(m, a, {0.0, 10.0, 0.0, 0.0});
+  EXPECT_EQ(r.y[1], 50.0);
+}
+
+TEST(Spmv, RectangularMatrix) {
+  CooMatrix a(3, 6);
+  a.add(0, 5, 1.0);
+  a.add(2, 0, 2.0);
+  a.add(2, 5, -1.0);
+  const std::vector<double> x{1, 2, 3, 4, 5, 6};
+  Machine m;
+  const SpmvResult r = spmv(m, a, x);
+  expect_close(r.y, a.multiply_reference(x), "rectangular");
+}
+
+TEST(Spmv, RejectsBadInputs) {
+  CooMatrix a(4, 4);
+  a.add(0, 0, 1.0);
+  Machine m;
+  EXPECT_THROW((void)spmv(m, a, std::vector<double>(3, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(Spmv, PermutationMatrixAppliesThePermutation) {
+  // Lemma VIII.1's reduction: SpMV with a permutation matrix permutes x.
+  const std::vector<index_t> perm{3, 0, 2, 1, 5, 4, 7, 6};
+  const CooMatrix p = permutation_matrix(perm);
+  const auto x = random_doubles(2, 8);
+  Machine m;
+  const SpmvResult r = spmv(m, p, x);
+  for (size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(r.y[i], x[static_cast<size_t>(perm[i])]);
+  }
+}
+
+TEST(Spmv, YGridHoldsTheResultWithClocks) {
+  const CooMatrix a = banded_matrix(9, 1, 3);
+  const auto x = random_doubles(4, 9);
+  Machine m;
+  const SpmvResult r = spmv(m, a, x);
+  for (index_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(r.y_grid[i].value, r.y[static_cast<size_t>(i)]);
+    EXPECT_GT(r.y_grid[i].clock.depth, 0);  // every row has entries here
+  }
+}
+
+TEST(Spmv, CostShapeTheoremVIII2) {
+  const index_t n = 1024;
+  const CooMatrix a = random_uniform_matrix(n, n, 5);
+  const auto x = random_doubles(6, static_cast<size_t>(n));
+  Machine m;
+  (void)spmv(m, a, x);
+  const double md = static_cast<double>(a.nnz());
+  EXPECT_LE(static_cast<double>(m.metrics().energy),
+            1500.0 * std::pow(md, 1.5));
+  EXPECT_LE(static_cast<double>(m.metrics().depth()),
+            3.0 * std::pow(std::log2(md), 3));
+  EXPECT_LE(static_cast<double>(m.metrics().distance()),
+            600.0 * std::sqrt(md));
+}
+
+TEST(SpmvPram, DepthIsLogFactorWorseThanDirect) {
+  // Section VIII: the PRAM simulation has O(log^4) depth vs the direct
+  // algorithm's O(log^3) — the direct algorithm must win on depth.
+  const index_t n = 256;
+  const CooMatrix a = random_uniform_matrix(n, 2 * n, 9);
+  const auto x = random_doubles(10, static_cast<size_t>(n));
+  Machine md;
+  (void)spmv(md, a, x);
+  Machine mp;
+  (void)spmv_pram(mp, a, x);
+  EXPECT_LT(md.metrics().depth(), mp.metrics().depth());
+  EXPECT_LT(md.metrics().distance(), mp.metrics().distance());
+}
+
+TEST(CooMatrix, SortedByRowAndValidity) {
+  CooMatrix a(4, 4);
+  a.add(3, 1, 1.0);
+  a.add(0, 2, 2.0);
+  a.add(3, 0, 3.0);
+  const CooMatrix s = a.sorted_by_row();
+  EXPECT_EQ(s.entries()[0].row, 0);
+  EXPECT_EQ(s.entries()[1].row, 3);
+  EXPECT_EQ(s.entries()[1].col, 0);
+  EXPECT_TRUE(s.valid());
+}
+
+}  // namespace
+}  // namespace scm

@@ -1,0 +1,123 @@
+// Tests of the network-load tracing module.
+#include "spatial/trace.hpp"
+
+#include "collectives/baselines.hpp"
+#include "collectives/scan.hpp"
+#include "spatial/machine.hpp"
+#include "spatial/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scm {
+namespace {
+
+TEST(LoadMap, SingleMessageRoutesDimensionOrdered) {
+  Machine m;
+  LoadMap map;
+  m.set_trace(&map);
+  m.send({0, 0}, {2, 3}, Clock{});
+  EXPECT_EQ(map.messages(), 1);
+  // Row-first path: (0,0) (1,0) (2,0) (2,1) (2,2) (2,3).
+  EXPECT_EQ(map.load_at({0, 0}), 1);
+  EXPECT_EQ(map.load_at({1, 0}), 1);
+  EXPECT_EQ(map.load_at({2, 0}), 1);
+  EXPECT_EQ(map.load_at({2, 2}), 1);
+  EXPECT_EQ(map.load_at({2, 3}), 1);
+  EXPECT_EQ(map.load_at({0, 3}), 0);
+  EXPECT_EQ(map.total_load(), 6);
+}
+
+TEST(LoadMap, ZeroLengthSendsAreNotTraced) {
+  Machine m;
+  LoadMap map;
+  m.set_trace(&map);
+  m.send({1, 1}, {1, 1}, Clock{});
+  EXPECT_EQ(map.messages(), 0);
+  EXPECT_EQ(map.total_load(), 0);
+}
+
+TEST(LoadMap, TotalLoadTracksEnergyPlusEndpoints) {
+  // Each message of distance d touches d + 1 processors.
+  Machine m;
+  LoadMap map;
+  m.set_trace(&map);
+  m.send({0, 0}, {0, 5}, Clock{});
+  m.send({3, 0}, {0, 0}, Clock{});
+  EXPECT_EQ(map.total_load(), (5 + 1) + (3 + 1));
+  EXPECT_EQ(map.total_load(), m.metrics().energy + map.messages());
+}
+
+TEST(LoadMap, HotspotsAreSortedDescending) {
+  Machine m;
+  LoadMap map;
+  m.set_trace(&map);
+  for (int i = 0; i < 5; ++i) m.send({0, 0}, {0, 1}, Clock{});
+  m.send({0, 1}, {0, 2}, Clock{});
+  const auto spots = map.hotspots(2);
+  ASSERT_EQ(spots.size(), 2u);
+  EXPECT_EQ(spots[0].second, 6);  // (0,1): 5 arrivals + 1 departure
+  EXPECT_EQ(spots[0].first, (Coord{0, 1}));
+  EXPECT_GE(spots[0].second, spots[1].second);
+}
+
+TEST(LoadMap, DetachStopsRecording) {
+  Machine m;
+  LoadMap map;
+  m.set_trace(&map);
+  m.send({0, 0}, {0, 1}, Clock{});
+  m.set_trace(nullptr);
+  m.send({0, 0}, {0, 9}, Clock{});
+  EXPECT_EQ(map.messages(), 1);
+}
+
+TEST(LoadMap, ClearResetsEverything) {
+  Machine m;
+  LoadMap map;
+  m.set_trace(&map);
+  m.send({0, 0}, {4, 4}, Clock{});
+  map.clear();
+  EXPECT_EQ(map.messages(), 0);
+  EXPECT_EQ(map.total_load(), 0);
+  EXPECT_EQ(map.max_load(), 0);
+  EXPECT_EQ(map.heatmap(), "(no traffic)\n");
+}
+
+TEST(LoadMap, HeatmapCoversTheBoundingBox) {
+  Machine m;
+  LoadMap map;
+  m.set_trace(&map);
+  m.send({0, 0}, {7, 7}, Clock{});
+  const std::string art = map.heatmap(8);
+  EXPECT_NE(art.find("8x8"), std::string::npos);
+  EXPECT_NE(art.find('@'), std::string::npos);  // the peak bucket
+}
+
+TEST(LoadMap, ZOrderScanHasLowerPeakLoadThanTreeScan) {
+  // The motivation for the module: the 1-D binary tree funnels traffic
+  // through hub processors, so its peak (bottleneck) load exceeds the 2-D
+  // scan's. (The coefficient of variation is not a discriminator here:
+  // the tree scan loads fewer processors, evenly among those.)
+  const index_t n = 4096;
+  auto vals = random_ints(1, static_cast<size_t>(n), 0, 9);
+  std::vector<long long> v(vals.begin(), vals.end());
+
+  Machine m1;
+  LoadMap scan_map;
+  m1.set_trace(&scan_map);
+  auto a1 = GridArray<long long>::from_values_square({0, 0}, v);
+  (void)scan(m1, a1, Plus{});
+
+  Machine m2;
+  LoadMap tree_map;
+  m2.set_trace(&tree_map);
+  auto a2 = GridArray<long long>::from_values_square({0, 0}, v,
+                                                     Layout::kRowMajor);
+  (void)tree_scan_1d(m2, a2, Plus{});
+
+  EXPECT_LT(scan_map.max_load(), tree_map.max_load());
+  EXPECT_GE(scan_map.imbalance(), 0.0);
+  EXPECT_GE(tree_map.imbalance(), 0.0);
+}
+
+}  // namespace
+}  // namespace scm

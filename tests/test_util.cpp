@@ -1,0 +1,129 @@
+// Tests of the bench-harness utilities: exponent fitting, table printing,
+// CLI parsing, and the COO generators.
+#include "spmv/generators.hpp"
+#include "util/cli.hpp"
+#include "util/fit.hpp"
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scm {
+namespace {
+
+TEST(Fit, RecoversExactPowerLaw) {
+  std::vector<double> n;
+  std::vector<double> cost;
+  for (double x : {64.0, 256.0, 1024.0, 4096.0}) {
+    n.push_back(x);
+    cost.push_back(7.5 * std::pow(x, 1.5));
+  }
+  const util::PowerFit fit = util::fit_power_law(n, cost);
+  EXPECT_NEAR(fit.exponent, 1.5, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+  EXPECT_TRUE(util::exponent_matches(fit, 1.5, 0.01));
+  EXPECT_FALSE(util::exponent_matches(fit, 1.0, 0.1));
+}
+
+TEST(Fit, RecoversPolylogShape) {
+  std::vector<double> n;
+  std::vector<double> cost;
+  for (double x : {256.0, 1024.0, 4096.0, 16384.0}) {
+    n.push_back(x);
+    cost.push_back(3.0 * std::pow(std::log2(x), 3.0));
+  }
+  const util::PowerFit fit = util::fit_polylog(n, cost);
+  EXPECT_NEAR(fit.exponent, 3.0, 1e-9);
+}
+
+TEST(Fit, DegenerateInputsAreSafe) {
+  EXPECT_EQ(util::fit_power_law({}, {}).exponent, 0.0);
+  EXPECT_EQ(util::fit_power_law({4.0}, {2.0}).exponent, 0.0);
+  const util::PowerFit fit =
+      util::fit_power_law({1.0, 2.0, 0.0}, {3.0, 6.0, -1.0});
+  EXPECT_NEAR(fit.exponent, 1.0, 1e-9);  // non-positive points are dropped
+}
+
+TEST(Fit, DescribeProducesReadableStrings) {
+  const util::PowerFit fit{1.52, 0.0, 0.999};
+  EXPECT_NE(util::describe_power(fit).find("n^1.52"), std::string::npos);
+  EXPECT_NE(util::describe_polylog(fit).find("(log n)^1.52"),
+            std::string::npos);
+}
+
+TEST(Table, AlignsColumnsAndCounts) {
+  util::Table t({"a", "bbbb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("a    bbbb"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(util::fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(util::fmt_count(0), "0");
+  EXPECT_EQ(util::fmt_count(-42000), "-42,000");
+  EXPECT_EQ(util::fmt_double(3.14159, 3), "3.14");
+}
+
+TEST(Cli, ParsesFlagsInBothForms) {
+  // "--name=value", "--name value", and a bare trailing "--flag".
+  const char* argv[] = {"prog", "--n=128", "--seed", "7", "--flag"};
+  util::Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 128);
+  EXPECT_EQ(cli.get_int("seed", 0), 7);
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_EQ(cli.get("flag", ""), "true");
+  EXPECT_EQ(cli.get_int("missing", 42), 42);
+  EXPECT_EQ(cli.get_double("missing", 2.5), 2.5);
+  EXPECT_FALSE(cli.has("positional"));
+}
+
+TEST(Generators, ProduceValidMatricesOfTheRightShape) {
+  const CooMatrix u = random_uniform_matrix(32, 100, 1);
+  EXPECT_TRUE(u.valid());
+  EXPECT_EQ(u.nnz(), 100);
+
+  const CooMatrix b = banded_matrix(16, 2, 2);
+  EXPECT_TRUE(b.valid());
+  for (const Triple& t : b.entries()) {
+    EXPECT_LE(std::abs(t.row - t.col), 2);
+  }
+
+  const CooMatrix d = diagonal_matrix({1.0, 2.0, 3.0});
+  EXPECT_EQ(d.nnz(), 3);
+  for (const Triple& t : d.entries()) EXPECT_EQ(t.row, t.col);
+
+  const CooMatrix p = power_law_matrix(64, 16, 1.0, 3);
+  EXPECT_TRUE(p.valid());
+  EXPECT_GE(p.nnz(), 64);  // every row gets >= 1 entry
+
+  const CooMatrix poisson = poisson2d_matrix(5);
+  EXPECT_TRUE(poisson.valid());
+  EXPECT_EQ(poisson.n_rows(), 25);
+  EXPECT_EQ(poisson.nnz(), 25 + 2 * 2 * 5 * 4);  // diag + 4 neighbor bands
+}
+
+TEST(Generators, PoissonIsSymmetric) {
+  const CooMatrix a = poisson2d_matrix(4);
+  // Check symmetry through reference multiplication: <Ax, y> == <x, Ay>.
+  std::vector<double> x(16), y(16);
+  for (int i = 0; i < 16; ++i) {
+    x[static_cast<size_t>(i)] = std::sin(i + 1.0);
+    y[static_cast<size_t>(i)] = std::cos(i * 2.0);
+  }
+  const auto ax = a.multiply_reference(x);
+  const auto ay = a.multiply_reference(y);
+  double lhs = 0, rhs = 0;
+  for (int i = 0; i < 16; ++i) {
+    lhs += ax[static_cast<size_t>(i)] * y[static_cast<size_t>(i)];
+    rhs += x[static_cast<size_t>(i)] * ay[static_cast<size_t>(i)];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-9);
+}
+
+}  // namespace
+}  // namespace scm
