@@ -54,6 +54,11 @@ void bitonic_merge(Machine& m, GridArray<T>& a, Less less) {
   Machine::PhaseScope scope(m, "bitonic_merge");
   const index_t n = a.size();
   for (index_t j = n / 2; j > 0; j /= 2) {
+    // Each network step is one simultaneous round: every wire holds its
+    // value plus at most one arriving partner word (O(1) residency per
+    // step, which the per-step scope makes visible to the conformance
+    // checker's epoch accounting).
+    Machine::PhaseScope step(m, "bitonic_merge/step");
     for (index_t i = 0; i < n; ++i) {
       if ((i & j) != 0) continue;
       compare_exchange(m, a, i, i + j, /*asc=*/true, less);
@@ -73,6 +78,8 @@ void bitonic_sort(Machine& m, GridArray<T>& a, Less less) {
   const index_t n = a.size();
   for (index_t k = 2; k <= n; k *= 2) {
     for (index_t j = k / 2; j > 0; j /= 2) {
+      // One simultaneous compare-exchange round; see bitonic_merge.
+      Machine::PhaseScope step(m, "bitonic_sort/step");
       for (index_t i = 0; i < n; ++i) {
         const index_t l = i ^ j;
         if (l <= i) continue;

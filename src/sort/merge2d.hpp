@@ -71,6 +71,10 @@ GridArray<T> merge_base(Machine& m, const std::vector<const GridArray<T>*>& in,
   for (const auto* arr : in) n += arr->size();
   GridArray<T> out(region, Layout::kZOrder, n, dst_offset);
   if (n == 0) return out;
+  // The gather deliberately parks up to base_size (a compile-time O(1)
+  // constant) words on the corner processor; its own phase scope declares
+  // that residency window to the conformance checker.
+  Machine::PhaseScope scope(m, "merge2d/base");
   const Coord work = zorder_coord(region, dst_offset);
 
   struct Gathered {

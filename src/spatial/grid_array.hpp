@@ -122,6 +122,23 @@ class GridArray {
     return c;
   }
 
+  /// Announces every element as a resident value to `m`'s trace sinks
+  /// (Machine::birth). Input arrays materialise on the grid without
+  /// messages; announcing them lets residency accounting (the conformance
+  /// checker) see the placement explicitly.
+  void announce(Machine& m) const {
+    for (index_t i = 0; i < size(); ++i) {
+      m.birth(coord(i), cells_[static_cast<size_t>(i)].clock);
+    }
+  }
+
+  /// Announces every element as retired (Machine::death): the array's
+  /// processors no longer hold its values. Sending from a retired cell is
+  /// a conformance violation until a new value arrives there.
+  void retire(Machine& m) const {
+    for (index_t i = 0; i < size(); ++i) m.death(coord(i));
+  }
+
  private:
   Rect region_;
   Layout layout_;

@@ -7,13 +7,26 @@
 
 namespace scm {
 
+TraceSink* Machine::global_trace_ = nullptr;
+
+void Machine::set_global_trace(TraceSink* sink) { global_trace_ = sink; }
+
+TraceSink* Machine::global_trace() { return global_trace_; }
+
+Machine::Machine() {
+  emit([](TraceSink& s) { s.on_reset(); });
+}
+
 Clock Machine::send(Coord from, Coord to, Clock payload) {
   const index_t dist = manhattan(from, to);
   if (dist == 0) return payload;
   const Clock arrival = payload.after_hop(dist);
   charge(dist, 1);
   observe(arrival);
-  if (trace_ != nullptr) trace_->on_message(from, to, dist);
+  emit([&](TraceSink& s) {
+    s.on_message(from, to, dist);
+    s.on_send(MessageEvent{from, to, dist, payload, arrival});
+  });
   return arrival;
 }
 
@@ -50,16 +63,27 @@ void Machine::observe(Clock c) {
   }
 }
 
+void Machine::birth(Coord at, Clock c) {
+  observe(c);
+  emit([&](TraceSink& s) { s.on_birth(at, c); });
+}
+
+void Machine::death(Coord at) {
+  emit([&](TraceSink& s) { s.on_death(at); });
+}
+
 void Machine::reset() {
   totals_ = Metrics{};
   phase_totals_.clear();
   // Phase stack intentionally survives a reset so a PhaseScope spanning the
   // reset keeps attributing costs; resetting mid-scope is unusual but legal.
+  emit([](TraceSink& s) { s.on_reset(); });
 }
 
-Metrics Machine::phase(const std::string& name) const {
+const Metrics& Machine::phase(const std::string& name) const {
+  static const Metrics kEmpty{};
   const auto it = phase_totals_.find(name);
-  return it == phase_totals_.end() ? Metrics{} : it->second;
+  return it == phase_totals_.end() ? kEmpty : it->second;
 }
 
 void Machine::charge(index_t energy, index_t messages) {
@@ -75,10 +99,22 @@ void Machine::charge(index_t energy, index_t messages) {
   }
 }
 
-Machine::PhaseScope::PhaseScope(Machine& m, std::string name) : machine_(m) {
-  machine_.phase_stack_.push_back(std::move(name));
+void Machine::begin_phase(std::string name) {
+  phase_stack_.push_back(std::move(name));
+  emit([&](TraceSink& s) { s.on_phase_enter(phase_stack_.back()); });
 }
 
-Machine::PhaseScope::~PhaseScope() { machine_.phase_stack_.pop_back(); }
+void Machine::end_phase() {
+  if (phase_stack_.empty()) return;
+  const std::string name = std::move(phase_stack_.back());
+  phase_stack_.pop_back();
+  emit([&](TraceSink& s) { s.on_phase_exit(name); });
+}
+
+Machine::PhaseScope::PhaseScope(Machine& m, std::string name) : machine_(m) {
+  machine_.begin_phase(std::move(name));
+}
+
+Machine::PhaseScope::~PhaseScope() { machine_.end_phase(); }
 
 }  // namespace scm

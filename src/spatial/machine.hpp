@@ -30,7 +30,9 @@ class TraceSink;
 /// Cost-accounting simulator of the Spatial Computer Model.
 class Machine {
  public:
-  Machine() = default;
+  /// A fresh machine announces itself to the global trace sink (on_reset),
+  /// so cross-machine residency accounting starts from a clean epoch.
+  Machine();
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -49,6 +51,16 @@ class Machine {
   /// correct even if the value is never sent again).
   void observe(Clock c);
 
+  /// Declares that a value with clock `c` is resident at processor `at`
+  /// without a message having delivered it (input placement). Free in the
+  /// model's metrics; reported to trace sinks so residency accounting (the
+  /// conformance checker's O(1)-memory enforcement) sees it.
+  void birth(Coord at, Clock c = Clock{});
+
+  /// Declares that the value resident at processor `at` has been consumed
+  /// or freed. Free in the model's metrics; reported to trace sinks.
+  void death(Coord at);
+
   /// Costs accumulated since construction (or the last reset).
   [[nodiscard]] const Metrics& metrics() const { return totals_; }
 
@@ -61,13 +73,31 @@ class Machine {
     return phase_totals_;
   }
 
-  /// Costs recorded under a phase name; zero metrics if never entered.
-  [[nodiscard]] Metrics phase(const std::string& name) const;
+  /// Costs recorded under a phase name; a zero Metrics if never entered.
+  /// Returns a reference into the phase table (std::map nodes are stable),
+  /// so hot query paths pay no Metrics copy.
+  [[nodiscard]] const Metrics& phase(const std::string& name) const;
 
   /// Attaches a message observer (e.g. a LoadMap building per-processor
   /// congestion maps); pass nullptr to detach. Not owned. Zero-length
   /// sends are free in the model and are not reported.
   void set_trace(TraceSink* sink) { trace_ = sink; }
+
+  /// Process-wide trace sink receiving the events of *every* Machine, in
+  /// addition to any per-machine sink. Not owned; pass nullptr to detach.
+  /// This is how the test harness attaches the conformance checker to all
+  /// machines a test creates without threading a sink through every call.
+  static void set_global_trace(TraceSink* sink);
+  [[nodiscard]] static TraceSink* global_trace();
+
+  /// Enters a named cost-attribution phase. Prefer the RAII PhaseScope;
+  /// the explicit form exists for bindings and for conformance tests that
+  /// deliberately leave a phase unbalanced.
+  void begin_phase(std::string name);
+
+  /// Exits the innermost phase. No-op on an empty phase stack (the
+  /// imbalance is the conformance checker's to report, not UB).
+  void end_phase();
 
   /// RAII scope that attributes all costs charged during its lifetime to
   /// `name` (in addition to any enclosing phases and the global totals).
@@ -85,10 +115,21 @@ class Machine {
  private:
   void charge(index_t energy, index_t messages);
 
+  /// Applies `fn` to every attached sink (per-machine, then global).
+  template <class Fn>
+  void emit(Fn&& fn) {
+    if (trace_ != nullptr) fn(*trace_);
+    if (global_trace_ != nullptr && global_trace_ != trace_) {
+      fn(*global_trace_);
+    }
+  }
+
   Metrics totals_{};
   std::vector<std::string> phase_stack_;
   std::map<std::string, Metrics> phase_totals_;
   TraceSink* trace_{nullptr};
+
+  static TraceSink* global_trace_;
 };
 
 }  // namespace scm

@@ -1,15 +1,19 @@
-// Network-load tracing for the Spatial Computer Model.
+// Execution tracing for the Spatial Computer Model.
 //
 // Energy is the paper's proxy for total network load; this module makes
-// the load *distribution* observable. A TraceSink attached to a Machine
-// receives every charged message; the LoadMap sink routes each message
-// along the dimension-ordered (row-first) Manhattan path and counts the
-// traffic through every processor, giving per-PE congestion maps, hotspot
-// lists, and an ASCII heatmap — the tooling behind the
-// example_traffic_heatmap demo comparing the Z-order scan's balanced load
-// against the 1-D tree scan's hotspots.
+// the load *distribution* and the model's state transitions observable. A
+// TraceSink attached to a Machine receives every charged message plus the
+// model-level lifecycle events (value births/deaths, phase boundaries,
+// resets) that the conformance checker (spatial/validate.hpp) enforces
+// invariants over. The LoadMap sink routes each message along the
+// dimension-ordered (row-first) Manhattan path and counts the traffic
+// through every processor, giving per-PE congestion maps, hotspot lists,
+// and an ASCII heatmap — the tooling behind the example_traffic_heatmap
+// demo comparing the Z-order scan's balanced load against the 1-D tree
+// scan's hotspots.
 #pragma once
 
+#include "spatial/clock.hpp"
 #include "spatial/geometry.hpp"
 
 #include <cstdint>
@@ -19,7 +23,23 @@
 
 namespace scm {
 
-/// Observer of charged messages. Attach with Machine::set_trace.
+/// A charged message with its full cost context, as delivered to
+/// TraceSink::on_send. `payload` is the critical-path clock the value
+/// carried on departure; `arrival` is its clock on arrival, which for a
+/// conforming machine equals payload.after_hop(distance).
+struct MessageEvent {
+  Coord from{};
+  Coord to{};
+  index_t distance{0};
+  Clock payload{};
+  Clock arrival{};
+};
+
+/// Observer of machine events. Attach per-machine with Machine::set_trace,
+/// or process-wide with Machine::set_global_trace (how the test harness
+/// attaches the conformance checker to every Machine a test creates).
+/// Every hook except on_message defaults to a no-op, so sinks implement
+/// only what they need.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -27,6 +47,29 @@ class TraceSink {
   /// Called once per charged message (zero-length sends are free and not
   /// reported).
   virtual void on_message(Coord from, Coord to, index_t distance) = 0;
+
+  /// Called once per charged message with the full clock context; fires
+  /// together with on_message.
+  virtual void on_send(const MessageEvent& e) { (void)e; }
+
+  /// A value with clock `c` became resident at processor `at` without a
+  /// message (input placement; Machine::birth).
+  virtual void on_birth(Coord at, Clock c) {
+    (void)at;
+    (void)c;
+  }
+
+  /// The value resident at `at` was consumed or freed (Machine::death).
+  virtual void on_death(Coord at) { (void)at; }
+
+  /// A named cost-attribution phase was entered (Machine::PhaseScope).
+  virtual void on_phase_enter(const std::string& name) { (void)name; }
+
+  /// The innermost phase was exited.
+  virtual void on_phase_exit(const std::string& name) { (void)name; }
+
+  /// The machine's counters were cleared (Machine construction or reset).
+  virtual void on_reset() {}
 };
 
 /// Accumulates per-processor traffic by routing every message along the

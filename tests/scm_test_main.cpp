@@ -1,0 +1,54 @@
+// Test entry point: every test runs with a ConformanceChecker attached as
+// the process-global trace sink, so all algorithm modules are exercised
+// under model enforcement. A test that produces any conformance violation
+// fails with the full report; setting the SCM_STRICT_MODEL environment
+// variable (no rebuild needed) upgrades that to an abort at the offending
+// send, with the message backtrace on stderr — the one-env-var local
+// reproduction of the CI strict-model job. Adversarial fixtures that
+// violate the model on purpose opt out with ScopedGlobalTraceSuspension.
+#include "spatial/machine.hpp"
+#include "spatial/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+namespace {
+
+class ConformanceListener : public ::testing::EmptyTestEventListener {
+  void OnTestStart(const ::testing::TestInfo& /*info*/) override {
+    checker_ = std::make_unique<scm::ConformanceChecker>();
+    scm::Machine::set_global_trace(checker_.get());
+  }
+
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    scm::Machine::set_global_trace(nullptr);
+    if (checker_ == nullptr) return;
+    checker_->finish();
+    const scm::ConformanceReport& report = checker_->report();
+    if (!report.ok()) {
+      ADD_FAILURE() << "Spatial Computer Model conformance violations:\n"
+                    << report.str();
+    }
+    // SCM_CONFORMANCE_REPORT=1 prints one summary line per test (used to
+    // calibrate the default live-word cap against the observed peak).
+    if (std::getenv("SCM_CONFORMANCE_REPORT") != nullptr) {
+      std::fprintf(stderr, "[conformance] %s.%s: %s", info.test_suite_name(),
+                   info.name(), report.str().c_str());
+    }
+    checker_.reset();
+  }
+
+  std::unique_ptr<scm::ConformanceChecker> checker_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  ::testing::UnitTest::GetInstance()->listeners().Append(
+      new ConformanceListener);
+  return RUN_ALL_TESTS();
+}

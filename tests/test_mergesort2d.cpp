@@ -2,6 +2,7 @@
 #include "sort/mergesort2d.hpp"
 
 #include "spatial/rng.hpp"
+#include "spatial/validate.hpp"
 
 #include <gtest/gtest.h>
 
@@ -96,6 +97,11 @@ TEST(Mergesort2d, CustomComparatorDescending) {
 }
 
 TEST(Mergesort2d, CorrectForEveryBaseSizeKnob) {
+  // The oversized knobs (64, 600) deliberately park more than the model's
+  // O(1) constant on the base case's corner processor — that residency
+  // trade-off is exactly what the ablation benchmark studies — so this
+  // test opts out of the harness's conformance enforcement.
+  ScopedGlobalTraceSuspension no_conformance;
   auto v = random_doubles(21, 600);
   auto ref = v;
   std::sort(ref.begin(), ref.end());

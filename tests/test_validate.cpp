@@ -1,0 +1,266 @@
+// Tests of the model-conformance checker: adversarial fixtures that
+// deliberately violate each Spatial Computer Model invariant and assert
+// the checker reports exactly that violation, plus conformance sweeps
+// asserting the paper's algorithms run violation-free under enforcement.
+#include "spatial/validate.hpp"
+
+#include "collectives/operators.hpp"
+#include "collectives/scan.hpp"
+#include "select/select.hpp"
+#include "sort/mergesort2d.hpp"
+#include "spatial/grid_array.hpp"
+#include "spatial/machine.hpp"
+#include "spatial/rng.hpp"
+#include "spmv/generators.hpp"
+#include "spmv/spmv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace scm {
+namespace {
+
+ConformanceChecker::Config lenient() {
+  ConformanceChecker::Config config;
+  config.strict = false;
+  return config;
+}
+
+ConformanceChecker::Config lenient(index_t cap) {
+  ConformanceChecker::Config config = lenient();
+  config.live_word_cap = cap;
+  return config;
+}
+
+// --- Adversarial fixtures: one per enforced invariant. ------------------
+
+TEST(ConformanceAdversarial, HoardingCellExceedsLiveWordCap) {
+  ScopedGlobalTraceSuspension off;
+  Machine m;
+  ConformanceChecker checker(lenient(/*cap=*/8));
+  m.set_trace(&checker);
+  {
+    Machine::PhaseScope scope(m, "hoard");
+    // Θ(√n)-style hoarding: park 40 words on one processor in one phase.
+    for (index_t i = 1; i <= 40; ++i) m.send({0, i}, {0, 0}, Clock{});
+  }
+  checker.finish();
+  const ConformanceReport& report = checker.report();
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.count(ViolationKind::kMemoryCapExceeded), 1);
+  const Violation& v = report.violations.front();
+  EXPECT_EQ(v.kind, ViolationKind::kMemoryCapExceeded);
+  EXPECT_EQ(v.phase, "hoard");
+  EXPECT_EQ(v.at, (Coord{0, 0}));
+  EXPECT_FALSE(v.backtrace.empty());
+  EXPECT_EQ(report.peak_residency, 40);
+}
+
+TEST(ConformanceAdversarial, PhaseBoundaryOpensAFreshEpoch) {
+  ScopedGlobalTraceSuspension off;
+  Machine m;
+  ConformanceChecker checker(lenient(/*cap=*/8));
+  m.set_trace(&checker);
+  // The same 40 words, but spread over phases with <= 8 per epoch: legal.
+  for (index_t round = 0; round < 5; ++round) {
+    Machine::PhaseScope scope(m, "round");
+    for (index_t i = 1; i <= 8; ++i) m.send({0, i}, {0, 0}, Clock{});
+  }
+  checker.finish();
+  EXPECT_TRUE(checker.report().ok()) << checker.report().str();
+}
+
+TEST(ConformanceAdversarial, NonMonotoneClockIsCaught) {
+  ScopedGlobalTraceSuspension off;
+  ConformanceChecker checker(lenient());
+  // A forged trace event whose arrival clock did not advance by the hop.
+  MessageEvent forged{{0, 0}, {0, 3}, 3, Clock{5, 10}, Clock{5, 10}};
+  checker.on_send(forged);
+  checker.finish();
+  ASSERT_EQ(checker.report().count(ViolationKind::kNonMonotoneClock), 1);
+  EXPECT_EQ(checker.report().violations.front().at, (Coord{0, 3}));
+}
+
+TEST(ConformanceAdversarial, CorruptDistanceIsCaught) {
+  ScopedGlobalTraceSuspension off;
+  ConformanceChecker checker(lenient());
+  // Distance 2 claimed for a Manhattan-3 hop (energy under-charge).
+  MessageEvent forged{{0, 0}, {0, 3}, 2, Clock{}, Clock{1, 2}};
+  checker.on_send(forged);
+  checker.finish();
+  EXPECT_EQ(checker.report().count(ViolationKind::kCorruptDistance), 1);
+}
+
+TEST(ConformanceAdversarial, UnbalancedPhaseScopeIsCaught) {
+  ScopedGlobalTraceSuspension off;
+  Machine m;
+  ConformanceChecker checker(lenient());
+  m.set_trace(&checker);
+  m.begin_phase("leaky");
+  m.send({0, 0}, {0, 1}, Clock{});
+  checker.finish();
+  ASSERT_EQ(checker.report().count(ViolationKind::kUnbalancedPhase), 1);
+  const Violation& v = checker.report().violations.front();
+  EXPECT_EQ(v.phase, "leaky");
+  EXPECT_NE(v.detail.find("leaky"), std::string::npos);
+  m.end_phase();  // clean up the machine's stack
+}
+
+TEST(ConformanceAdversarial, SendFromRetiredCellIsCaught) {
+  ScopedGlobalTraceSuspension off;
+  Machine m;
+  ConformanceChecker checker(lenient());
+  m.set_trace(&checker);
+  m.birth({2, 2});
+  m.death({2, 2});
+  m.send({2, 2}, {2, 3}, Clock{});
+  ASSERT_EQ(checker.report().count(ViolationKind::kSendFromDeadCell), 1);
+  EXPECT_EQ(checker.report().violations.front().at, (Coord{2, 2}));
+  // A new arrival revives the cell: sending onward is legal again.
+  m.send({0, 0}, {2, 2}, Clock{});
+  m.send({2, 2}, {0, 0}, Clock{});
+  checker.finish();
+  EXPECT_EQ(checker.report().count(ViolationKind::kSendFromDeadCell), 1);
+}
+
+TEST(ConformanceAdversarial, EndpointOutsideArenaIsCaught) {
+  ScopedGlobalTraceSuspension off;
+  Machine m;
+  ConformanceChecker::Config config = lenient();
+  config.arena = Rect{0, 0, 4, 4};
+  ConformanceChecker checker(config);
+  m.set_trace(&checker);
+  m.send({0, 0}, {3, 3}, Clock{});  // inside: fine
+  m.send({9, 9}, {0, 0}, Clock{});  // from outside the arena
+  checker.finish();
+  ASSERT_EQ(checker.report().count(ViolationKind::kIllegalCoordinate), 1);
+  EXPECT_EQ(checker.report().violations.front().at, (Coord{9, 9}));
+}
+
+TEST(ConformanceAdversarial, VerifyCatchesUnobservedCharges) {
+  ScopedGlobalTraceSuspension off;
+  Machine m;
+  m.send({0, 0}, {0, 5}, Clock{});  // charged before the checker attached
+  ConformanceChecker checker(lenient());
+  m.set_trace(&checker);
+  m.send({0, 0}, {0, 2}, Clock{});
+  checker.verify(m);
+  EXPECT_EQ(checker.report().count(ViolationKind::kEnergyMismatch), 1);
+  EXPECT_EQ(checker.report().count(ViolationKind::kMessageCountMismatch), 1);
+}
+
+TEST(ConformanceAdversarial, BacktraceKeepsTheMostRecentMessages) {
+  ScopedGlobalTraceSuspension off;
+  Machine m;
+  ConformanceChecker::Config config = lenient();
+  config.backtrace_capacity = 4;
+  ConformanceChecker checker(config);
+  m.set_trace(&checker);
+  for (index_t i = 1; i <= 10; ++i) m.send({0, 0}, {i, 0}, Clock{});
+  checker.on_send(MessageEvent{{0, 0}, {0, 1}, 99, Clock{}, Clock{1, 99}});
+  ASSERT_EQ(checker.report().count(ViolationKind::kCorruptDistance), 1);
+  const Violation& v = checker.report().violations.front();
+  ASSERT_EQ(v.backtrace.size(), 4u);
+  // Oldest retained message is send #7; the newest is send #10.
+  EXPECT_EQ(v.backtrace.front().to, (Coord{7, 0}));
+  EXPECT_EQ(v.backtrace.back().to, (Coord{10, 0}));
+}
+
+TEST(ConformanceAdversarialDeathTest, StrictModeAbortsAtTheViolation) {
+  ScopedGlobalTraceSuspension off;
+  ConformanceChecker::Config config;
+  config.strict = true;
+  EXPECT_DEATH(
+      {
+        ConformanceChecker strict_checker(config);
+        strict_checker.on_send(
+            MessageEvent{{0, 0}, {0, 3}, 3, Clock{5, 10}, Clock{5, 10}});
+      },
+      "non-monotone-clock");
+}
+
+TEST(ConformanceAdversarial, StrictDefaultHonorsTheEnvironment) {
+#ifndef SCM_STRICT_MODEL
+  const char* saved = std::getenv("SCM_STRICT_MODEL");
+  const std::string restore = saved == nullptr ? "" : saved;
+  ::setenv("SCM_STRICT_MODEL", "1", 1);
+  EXPECT_TRUE(ConformanceChecker::strict_model_default());
+  ::setenv("SCM_STRICT_MODEL", "0", 1);
+  EXPECT_FALSE(ConformanceChecker::strict_model_default());
+  if (saved == nullptr) {
+    ::unsetenv("SCM_STRICT_MODEL");
+  } else {
+    ::setenv("SCM_STRICT_MODEL", restore.c_str(), 1);
+  }
+#else
+  EXPECT_TRUE(ConformanceChecker::strict_model_default());
+#endif
+}
+
+// --- Conformance sweeps: the paper's headline algorithms run clean. -----
+
+TEST(ConformanceSweep, ScanIsViolationFree) {
+  Machine m;
+  ConformanceChecker checker(lenient());
+  m.set_trace(&checker);
+  auto values = random_ints(7, 1024, 0, 99);
+  std::vector<long long> v(values.begin(), values.end());
+  auto a = GridArray<long long>::from_values_square({0, 0}, v);
+  a.announce(m);
+  (void)scan(m, a, Plus{});
+  checker.verify(m);
+  EXPECT_TRUE(checker.report().ok()) << checker.report().str();
+  EXPECT_EQ(checker.report().energy, m.metrics().energy);
+}
+
+TEST(ConformanceSweep, Mergesort2dIsViolationFree) {
+  Machine m;
+  ConformanceChecker checker(lenient());
+  m.set_trace(&checker);
+  auto v = random_doubles(11, 1024);
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  a.announce(m);
+  (void)mergesort2d(m, a);
+  checker.verify(m);
+  EXPECT_TRUE(checker.report().ok()) << checker.report().str();
+}
+
+TEST(ConformanceSweep, SelectIsViolationFree) {
+  Machine m;
+  ConformanceChecker checker(lenient());
+  m.set_trace(&checker);
+  auto v = random_doubles(13, 1024);
+  auto a = GridArray<double>::from_values_square({0, 0}, v,
+                                                 Layout::kRowMajor);
+  a.announce(m);
+  (void)select_rank(m, a, 512, /*seed=*/17);
+  checker.verify(m);
+  EXPECT_TRUE(checker.report().ok()) << checker.report().str();
+}
+
+TEST(ConformanceSweep, SpmvIsViolationFree) {
+  Machine m;
+  ConformanceChecker checker(lenient());
+  m.set_trace(&checker);
+  const CooMatrix a = random_uniform_matrix(100, 400, /*seed=*/19);
+  const auto x = random_doubles(23, static_cast<size_t>(a.n_cols()));
+  (void)spmv(m, a, x);
+  checker.verify(m);
+  EXPECT_TRUE(checker.report().ok()) << checker.report().str();
+}
+
+TEST(ConformanceSweep, ReportSummarisesACleanRun) {
+  Machine m;
+  ConformanceChecker checker(lenient());
+  m.set_trace(&checker);
+  m.send({0, 0}, {2, 3}, Clock{});
+  checker.verify(m);
+  const std::string text = checker.report().str();
+  EXPECT_NE(text.find("conformance: ok"), std::string::npos);
+  EXPECT_NE(text.find("energy 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scm

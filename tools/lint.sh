@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Static-analysis runner: clang-tidy (repo .clang-tidy profile) plus
+# clang-format --dry-run over src tests bench examples.
+#
+# Usage:
+#   tools/lint.sh [build-dir]
+#
+# The build dir must contain compile_commands.json (the top-level
+# CMakeLists.txt sets CMAKE_EXPORT_COMPILE_COMMANDS, so any configured
+# build dir works). Missing tools are reported and skipped rather than
+# failing the run, so the script degrades gracefully on machines without
+# LLVM; CI installs both and treats any diagnostic as a failure.
+set -u -o pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+status=0
+
+find_tool() {
+  # Accept plain and versioned binary names (clang-tidy-18, ...).
+  local base=$1
+  if command -v "$base" > /dev/null 2>&1; then
+    echo "$base"
+    return 0
+  fi
+  local versioned
+  versioned=$(compgen -c "$base-" 2> /dev/null | grep -E "^$base-[0-9]+$" |
+    sort -t- -k3 -n | tail -1)
+  if [ -n "$versioned" ]; then
+    echo "$versioned"
+    return 0
+  fi
+  return 1
+}
+
+sources() {
+  find "$repo_root/src" "$repo_root/tests" "$repo_root/bench" \
+    "$repo_root/examples" -name '*.cpp' -o -name '*.hpp' | sort
+}
+
+cpp_sources() {
+  sources | grep '\.cpp$'
+}
+
+# --- clang-format ---------------------------------------------------------
+if fmt=$(find_tool clang-format); then
+  echo "== $fmt --dry-run (style: .clang-format)"
+  if ! sources | xargs "$fmt" --dry-run --Werror; then
+    echo "clang-format: style violations found (run $fmt -i to fix)" >&2
+    status=1
+  fi
+else
+  echo "clang-format not found; skipping format check" >&2
+fi
+
+# --- clang-tidy -----------------------------------------------------------
+if tidy=$(find_tool clang-tidy); then
+  if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "no compile_commands.json in $build_dir — configure first:" >&2
+    echo "  cmake -B $build_dir -S $repo_root" >&2
+    exit 1
+  fi
+  echo "== $tidy (profile: .clang-tidy, build dir: $build_dir)"
+  if ! cpp_sources | xargs "$tidy" -p "$build_dir" --quiet; then
+    echo "clang-tidy: diagnostics found" >&2
+    status=1
+  fi
+else
+  echo "clang-tidy not found; skipping tidy check" >&2
+fi
+
+exit $status
