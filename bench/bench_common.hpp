@@ -7,59 +7,30 @@
 //   * record each measurement in a process-wide registry;
 //   * after benchmark::RunSpecifiedBenchmarks, print the paper-style
 //     series table and fit the growth shapes against the claimed bounds,
-//     emitting PASS/FAIL per claim.
+//     emitting PASS/FAIL per claim (INCONCLUSIVE when a series is too
+//     degenerate to fit).
+//
+// The registry, claim checking, and table printing live in
+// src/util/series.{hpp,cpp} (unit-tested, no google-benchmark
+// dependency); this header only adds the google-benchmark glue.
 #pragma once
 
 #include "spatial/metrics.hpp"
-#include "util/fit.hpp"
-#include "util/table.hpp"
+#include "util/series.hpp"
 
 #include <benchmark/benchmark.h>
 
-#include <cmath>
-#include <cstdio>
-#include <map>
 #include <string>
-#include <vector>
 
 namespace scm::bench {
 
-/// One measured point of a series.
-struct Sample {
-  double n{0};
-  Metrics metrics;
-};
+// The series store, Claim type, and print_series/print_ratio/metric_value
+// helpers live in scm::util; benches keep addressing them as scm::bench::.
+using namespace scm::util;  // NOLINT(google-build-using-namespace)
 
-/// Process-wide store of measurements, keyed by series name, with points
-/// ordered (and deduplicated) by n.
-class Registry {
- public:
-  static Registry& instance() {
-    static Registry r;
-    return r;
-  }
-
-  void add(const std::string& series, double n, const Metrics& m) {
-    auto& samples = series_[series];
-    for (Sample& s : samples) {
-      if (s.n == n) {
-        s.metrics = m;
-        return;
-      }
-    }
-    samples.push_back(Sample{n, m});
-  }
-
-  [[nodiscard]] const std::vector<Sample>& series(
-      const std::string& name) const {
-    static const std::vector<Sample> empty;
-    const auto it = series_.find(name);
-    return it == series_.end() ? empty : it->second;
-  }
-
- private:
-  std::map<std::string, std::vector<Sample>> series_;
-};
+/// The process-wide measurement store (bench-side alias of the
+/// unit-tested util::SeriesRegistry).
+using Registry = util::SeriesRegistry;
 
 /// Publishes a measurement both as google-benchmark counters and into the
 /// registry for the post-run analysis table.
@@ -70,95 +41,6 @@ inline void report(benchmark::State& state, const std::string& series,
   state.counters["distance"] = static_cast<double>(m.distance());
   state.counters["messages"] = static_cast<double>(m.messages);
   Registry::instance().add(series, n, m);
-}
-
-[[nodiscard]] inline double metric_value(const Metrics& m,
-                                         const std::string& metric) {
-  if (metric == "energy") return static_cast<double>(m.energy);
-  if (metric == "depth") return static_cast<double>(m.depth());
-  if (metric == "distance") return static_cast<double>(m.distance());
-  return static_cast<double>(m.messages);
-}
-
-/// A claimed growth shape to validate against a measured series.
-struct Claim {
-  std::string metric;    ///< "energy" | "depth" | "distance"
-  bool polylog{false};   ///< power law in n (false) or in log2 n (true)
-  double expected{1.0};  ///< claimed exponent
-  double tol{0.25};      ///< accepted deviation of the fitted exponent
-  std::string paper;     ///< the paper's statement, e.g. "Theta(n)"
-};
-
-/// Prints the series' measured rows plus one fitted PASS/FAIL line per
-/// claim. Upper-bound claims (depth O(...)) accept fitted exponents BELOW
-/// expected - tol as well, which `upper_bound_ok` enables.
-inline void print_series(const std::string& title, const std::string& series,
-                         const std::vector<Claim>& claims,
-                         bool upper_bound_ok_below = true) {
-  const std::vector<Sample>& samples = Registry::instance().series(series);
-  if (samples.empty()) return;
-
-  util::Table table({"n", "energy", "depth", "distance", "energy/n",
-                     "energy/n^1.5", "dist/sqrt(n)"});
-  table.set_caption("\n== " + title + " ==");
-  for (const Sample& s : samples) {
-    table.add_row({util::fmt_count(static_cast<long long>(s.n)),
-                   util::fmt_count(s.metrics.energy),
-                   util::fmt_count(s.metrics.depth()),
-                   util::fmt_count(s.metrics.distance()),
-                   util::fmt_double(static_cast<double>(s.metrics.energy) /
-                                    s.n),
-                   util::fmt_double(static_cast<double>(s.metrics.energy) /
-                                    std::pow(s.n, 1.5)),
-                   util::fmt_double(
-                       static_cast<double>(s.metrics.distance()) /
-                       std::sqrt(s.n))});
-  }
-  table.print();
-
-  std::vector<double> ns;
-  for (const Sample& s : samples) ns.push_back(s.n);
-  for (const Claim& c : claims) {
-    std::vector<double> ys;
-    for (const Sample& s : samples) {
-      ys.push_back(metric_value(s.metrics, c.metric));
-    }
-    const util::PowerFit fit =
-        c.polylog ? util::fit_polylog(ns, ys) : util::fit_power_law(ns, ys);
-    const bool within = util::exponent_matches(fit, c.expected, c.tol);
-    const bool below = upper_bound_ok_below && fit.exponent < c.expected;
-    const bool pass = within || below;
-    std::printf("  claim %-8s ~ %s: fitted %s -> %s\n", c.metric.c_str(),
-                c.paper.c_str(),
-                (c.polylog ? util::describe_polylog(fit)
-                           : util::describe_power(fit))
-                    .c_str(),
-                pass ? "PASS" : "FAIL");
-  }
-}
-
-/// Ratio table between two series at matching n (who wins, by what
-/// factor) — used by the comparison benches (Fig. 2, baselines, PRAM).
-inline void print_ratio(const std::string& title, const std::string& a,
-                        const std::string& b, const std::string& metric) {
-  const auto& sa = Registry::instance().series(a);
-  const auto& sb = Registry::instance().series(b);
-  if (sa.empty() || sb.empty()) return;
-  util::Table table({"n", a + " " + metric, b + " " + metric,
-                     "ratio " + a + "/" + b});
-  table.set_caption("\n== " + title + " ==");
-  for (const Sample& x : sa) {
-    for (const Sample& y : sb) {
-      if (x.n != y.n) continue;
-      const double va = metric_value(x.metrics, metric);
-      const double vb = metric_value(y.metrics, metric);
-      table.add_row({util::fmt_count(static_cast<long long>(x.n)),
-                     util::fmt_count(static_cast<long long>(va)),
-                     util::fmt_count(static_cast<long long>(vb)),
-                     util::fmt_double(vb == 0 ? 0.0 : va / vb)});
-    }
-  }
-  table.print();
 }
 
 }  // namespace scm::bench

@@ -1,0 +1,126 @@
+// Microbenchmark of the simulator's cost-attribution hot path.
+//
+// Every simulated message pays Machine::charge + Machine::observe, so the
+// events/sec of those paths bounds the input sizes every paper-claim bench
+// can reach. The shapes cover the attribution regimes the algorithms
+// produce:
+//   * flat            — no phase scopes (pure counter adds);
+//   * single_phase    — one active scope (the common leaf case);
+//   * deep_recursive  — D nested scopes with distinct names, the worst
+//                       case for per-event name deduplication (bitonic's
+//                       per-step scopes under sort/merge/step nesting);
+//   * repeated_name   — D nested scopes of one name (mergesort2d stacking
+//                       "mergesort2d" at every recursion level), where
+//                       costs must be attributed to the name exactly once;
+//   * mixed_recursion — alternating sort/merge/step names, the realistic
+//                       recursive profile.
+//
+// Results are tracked in BENCH_simulator.json (events/sec before and
+// after the interned-PhaseId attribution engine); CI runs this bench with
+// --benchmark_min_time=0.01 as a smoke test so regressions on the
+// attribution path show up per PR.
+#include "spatial/machine.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace scm;
+
+constexpr int kEventsPerBatch = 4096;
+
+// One batch of charged messages under whatever phase stack is active.
+// Alternating unit-distance hops: every send is charged (distance 1) and
+// runs the full charge + observe attribution path.
+void run_event_batch(Machine& m) {
+  Clock c{};
+  for (int i = 0; i < kEventsPerBatch; ++i) {
+    c = m.send({0, i & 1}, {0, (i & 1) ^ 1}, c);
+    m.op();
+  }
+}
+
+void measure(benchmark::State& state, Machine& m) {
+  for (auto _ : state) {
+    run_event_batch(m);
+    benchmark::DoNotOptimize(m.metrics().energy);
+  }
+  state.SetItemsProcessed(state.iterations() * kEventsPerBatch);
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kEventsPerBatch),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Flat(benchmark::State& state) {
+  Machine m;
+  measure(state, m);
+}
+BENCHMARK(BM_Flat);
+
+void BM_SinglePhase(benchmark::State& state) {
+  Machine m;
+  m.begin_phase("leaf");
+  measure(state, m);
+  m.end_phase();
+}
+BENCHMARK(BM_SinglePhase);
+
+void BM_DeepRecursive(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Machine m;
+  for (int d = 0; d < depth; ++d) {
+    m.begin_phase("level" + std::to_string(d));
+  }
+  measure(state, m);
+  for (int d = 0; d < depth; ++d) m.end_phase();
+}
+BENCHMARK(BM_DeepRecursive)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_RepeatedName(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Machine m;
+  for (int d = 0; d < depth; ++d) m.begin_phase("mergesort2d");
+  measure(state, m);
+  for (int d = 0; d < depth; ++d) m.end_phase();
+}
+BENCHMARK(BM_RepeatedName)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MixedRecursion(benchmark::State& state) {
+  // The profile a recursive sort produces: a handful of distinct names,
+  // each stacked many times.
+  const int depth = static_cast<int>(state.range(0));
+  static const std::vector<std::string> names = {
+      "mergesort2d", "merge2d", "merge2d/step", "merge2d/base"};
+  Machine m;
+  for (int d = 0; d < depth; ++d) {
+    m.begin_phase(names[static_cast<std::size_t>(d) % names.size()]);
+  }
+  measure(state, m);
+  for (int d = 0; d < depth; ++d) m.end_phase();
+}
+BENCHMARK(BM_MixedRecursion)->Arg(16)->Arg(64);
+
+// Phase-transition throughput: scope enter/exit pairs per second. The
+// interned engine moves the dedup work here (per transition), so this
+// guards the other side of the trade.
+void BM_PhaseTransitions(benchmark::State& state) {
+  Machine m;
+  std::int64_t scopes = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      Machine::PhaseScope outer(m, "outer");
+      Machine::PhaseScope inner(m, "inner");
+      benchmark::DoNotOptimize(&inner);
+    }
+    scopes += 512;
+  }
+  state.SetItemsProcessed(scopes);
+}
+BENCHMARK(BM_PhaseTransitions);
+
+}  // namespace
+
+BENCHMARK_MAIN();

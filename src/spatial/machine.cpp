@@ -3,7 +3,6 @@
 #include "spatial/trace.hpp"
 
 #include <cassert>
-#include <utility>
 
 namespace scm {
 
@@ -30,36 +29,17 @@ Clock Machine::send(Coord from, Coord to, Clock payload) {
   return arrival;
 }
 
-namespace {
-
-// Recursive algorithms stack the same phase name repeatedly; costs must be
-// attributed to each distinct name once.
-bool first_occurrence(const std::vector<std::string>& stack, size_t i) {
-  for (size_t j = 0; j < i; ++j) {
-    if (stack[j] == stack[i]) return false;
-  }
-  return true;
-}
-
-}  // namespace
-
 void Machine::op(index_t n) {
   assert(n >= 0);
   totals_.local_ops += n;
-  for (size_t i = 0; i < phase_stack_.size(); ++i) {
-    if (first_occurrence(phase_stack_, i)) {
-      phase_totals_[phase_stack_[i]].local_ops += n;
-    }
-  }
+  for (const PhaseId id : active_) slot(id).local_ops += n;
 }
 
 void Machine::observe(Clock c) {
   totals_.max_clock = Clock::join(totals_.max_clock, c);
-  for (size_t i = 0; i < phase_stack_.size(); ++i) {
-    if (first_occurrence(phase_stack_, i)) {
-      Metrics& pm = phase_totals_[phase_stack_[i]];
-      pm.max_clock = Clock::join(pm.max_clock, c);
-    }
+  for (const PhaseId id : active_) {
+    Metrics& pm = slot(id);
+    pm.max_clock = Clock::join(pm.max_clock, c);
   }
 }
 
@@ -74,45 +54,88 @@ void Machine::death(Coord at) {
 
 void Machine::reset() {
   totals_ = Metrics{};
-  phase_totals_.clear();
-  // Phase stack intentionally survives a reset so a PhaseScope spanning the
-  // reset keeps attributing costs; resetting mid-scope is unusual but legal.
+  for (const PhaseId id : touched_) {
+    phase_totals_[id] = Metrics{};
+    touched_flag_[id] = 0;
+  }
+  touched_.clear();
+  // Phase stack (and with it the active set) intentionally survives a
+  // reset so a PhaseScope spanning the reset keeps attributing costs;
+  // resetting mid-scope is unusual but legal.
   emit([](TraceSink& s) { s.on_reset(); });
 }
 
-const Metrics& Machine::phase(const std::string& name) const {
+std::map<std::string, Metrics> Machine::phases() const {
+  const PhaseRegistry& registry = PhaseRegistry::instance();
+  std::map<std::string, Metrics> view;
+  for (const PhaseId id : touched_) {
+    view.emplace(registry.name(id), phase_totals_[id]);
+  }
+  return view;
+}
+
+const Metrics& Machine::phase(std::string_view name) const {
   static const Metrics kEmpty{};
-  const auto it = phase_totals_.find(name);
-  return it == phase_totals_.end() ? kEmpty : it->second;
+  const PhaseId id = PhaseRegistry::instance().find(name);
+  if (id == kNoPhase || id >= touched_flag_.size() ||
+      touched_flag_[id] == 0) {
+    return kEmpty;
+  }
+  return phase_totals_[id];
 }
 
 void Machine::charge(index_t energy, index_t messages) {
   assert(energy >= 0 && messages >= 0);
   totals_.energy += energy;
   totals_.messages += messages;
-  for (size_t i = 0; i < phase_stack_.size(); ++i) {
-    if (first_occurrence(phase_stack_, i)) {
-      Metrics& pm = phase_totals_[phase_stack_[i]];
-      pm.energy += energy;
-      pm.messages += messages;
-    }
+  for (const PhaseId id : active_) {
+    Metrics& pm = slot(id);
+    pm.energy += energy;
+    pm.messages += messages;
   }
 }
 
-void Machine::begin_phase(std::string name) {
-  phase_stack_.push_back(std::move(name));
-  emit([&](TraceSink& s) { s.on_phase_enter(phase_stack_.back()); });
+void Machine::begin_phase(std::string_view name) {
+  begin_phase(PhaseRegistry::instance().intern(name));
+}
+
+void Machine::begin_phase(PhaseId id) {
+  assert(id < PhaseRegistry::instance().size());
+  if (id >= stack_count_.size()) {
+    const std::size_t size = PhaseRegistry::instance().size();
+    stack_count_.resize(size, 0);
+    touched_flag_.resize(size, 0);
+    phase_totals_.resize(size);
+  }
+  phase_stack_.push_back(id);
+  // First occurrence on the stack: the phase joins the attribution set.
+  // Deeper re-entries of the same name only bump the count, which is the
+  // whole recursive-name dedup — moved from per-event to per-transition.
+  if (stack_count_[id]++ == 0) active_.push_back(id);
+  emit([&](TraceSink& s) { s.on_phase_enter(id); });
 }
 
 void Machine::end_phase() {
   if (phase_stack_.empty()) return;
-  const std::string name = std::move(phase_stack_.back());
+  const PhaseId id = phase_stack_.back();
   phase_stack_.pop_back();
-  emit([&](TraceSink& s) { s.on_phase_exit(name); });
+  if (--stack_count_[id] == 0) {
+    // The popped occurrence was the id's only one, i.e. its first — and
+    // first occurrences enter `active_` in stack order, so it is the most
+    // recently activated id.
+    assert(!active_.empty() && active_.back() == id);
+    active_.pop_back();
+  }
+  emit([&](TraceSink& s) { s.on_phase_exit(id); });
 }
 
-Machine::PhaseScope::PhaseScope(Machine& m, std::string name) : machine_(m) {
-  machine_.begin_phase(std::move(name));
+Machine::PhaseScope::PhaseScope(Machine& m, std::string_view name)
+    : machine_(m) {
+  machine_.begin_phase(name);
+}
+
+Machine::PhaseScope::PhaseScope(Machine& m, PhaseId id) : machine_(m) {
+  machine_.begin_phase(id);
 }
 
 Machine::PhaseScope::~PhaseScope() { machine_.end_phase(); }

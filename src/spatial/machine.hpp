@@ -13,14 +13,23 @@
 // messages cost energy/depth/distance.
 //
 // Named phases give per-stage cost breakdowns for benchmarks and ablations.
+// Phase names are interned into dense PhaseIds (spatial/phase.hpp) and the
+// attribution engine works purely on integers: charging a message is
+// O(active distinct phases) integer adds with zero string hashing or
+// comparison. The name-level deduplication recursive algorithms need (a
+// phase stacked at every recursion level is attributed once) happens at
+// phase transitions, not per event.
 #pragma once
 
 #include "spatial/clock.hpp"
 #include "spatial/geometry.hpp"
 #include "spatial/metrics.hpp"
+#include "spatial/phase.hpp"
 
+#include <deque>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace scm {
@@ -67,16 +76,18 @@ class Machine {
   /// Clears all counters and per-phase records.
   void reset();
 
-  /// Per-phase cost records, keyed by phase name. Nested phases accumulate
-  /// into every active scope, so "sort" includes its "sort/merge" children.
-  [[nodiscard]] const std::map<std::string, Metrics>& phases() const {
-    return phase_totals_;
-  }
+  /// Per-phase cost records, keyed by phase name — a snapshot materialized
+  /// from the id-indexed engine (names sorted, as the historical map API
+  /// guaranteed). Nested phases accumulate into every active scope, so
+  /// "sort" includes its "sort/merge" children; a phase appears once it
+  /// has at least one attributed event.
+  [[nodiscard]] std::map<std::string, Metrics> phases() const;
 
   /// Costs recorded under a phase name; a zero Metrics if never entered.
-  /// Returns a reference into the phase table (std::map nodes are stable),
-  /// so hot query paths pay no Metrics copy.
-  [[nodiscard]] const Metrics& phase(const std::string& name) const;
+  /// The reference is stable across further charging and phase
+  /// transitions (per-phase records never move), so hot query paths pay
+  /// no Metrics copy.
+  [[nodiscard]] const Metrics& phase(std::string_view name) const;
 
   /// Attaches a message observer (e.g. a LoadMap building per-processor
   /// congestion maps); pass nullptr to detach. Not owned. Zero-length
@@ -90,20 +101,25 @@ class Machine {
   static void set_global_trace(TraceSink* sink);
   [[nodiscard]] static TraceSink* global_trace();
 
-  /// Enters a named cost-attribution phase. Prefer the RAII PhaseScope;
-  /// the explicit form exists for bindings and for conformance tests that
-  /// deliberately leave a phase unbalanced.
-  void begin_phase(std::string name);
+  /// Enters a named cost-attribution phase (interning the name). Prefer
+  /// the RAII PhaseScope; the explicit form exists for bindings and for
+  /// conformance tests that deliberately leave a phase unbalanced.
+  void begin_phase(std::string_view name);
+
+  /// Enters a phase by pre-interned id (PhaseRegistry::intern) — the
+  /// zero-string-work form for hot recursive call sites.
+  void begin_phase(PhaseId id);
 
   /// Exits the innermost phase. No-op on an empty phase stack (the
   /// imbalance is the conformance checker's to report, not UB).
   void end_phase();
 
   /// RAII scope that attributes all costs charged during its lifetime to
-  /// `name` (in addition to any enclosing phases and the global totals).
+  /// a phase (in addition to any enclosing phases and the global totals).
   class PhaseScope {
    public:
-    PhaseScope(Machine& m, std::string name);
+    PhaseScope(Machine& m, std::string_view name);
+    PhaseScope(Machine& m, PhaseId id);
     ~PhaseScope();
     PhaseScope(const PhaseScope&) = delete;
     PhaseScope& operator=(const PhaseScope&) = delete;
@@ -115,6 +131,17 @@ class Machine {
  private:
   void charge(index_t energy, index_t messages);
 
+  /// The per-phase record for `id`, marking it as touched (= it will
+  /// appear in phases()). Precondition: `id` is on the phase stack, so the
+  /// per-id tables were sized by begin_phase.
+  Metrics& slot(PhaseId id) {
+    if (touched_flag_[id] == 0) {
+      touched_flag_[id] = 1;
+      touched_.push_back(id);
+    }
+    return phase_totals_[id];
+  }
+
   /// Applies `fn` to every attached sink (per-machine, then global).
   template <class Fn>
   void emit(Fn&& fn) {
@@ -125,8 +152,23 @@ class Machine {
   }
 
   Metrics totals_{};
-  std::vector<std::string> phase_stack_;
-  std::map<std::string, Metrics> phase_totals_;
+
+  // The attribution engine. `active_` is the precomputed set of distinct
+  // phase ids currently on the stack, ordered by the stack position of
+  // each id's first (outermost) occurrence; `stack_count_[id]` counts the
+  // occurrences of `id` on the stack. begin/end_phase maintain both in
+  // O(1), so the per-event loops in charge/op/observe touch each distinct
+  // active phase exactly once with no dedup scan. All id-indexed tables
+  // are sized to the PhaseRegistry on demand at phase entry; per-phase
+  // Metrics live in a deque so references handed out by phase() stay
+  // valid as the id space grows.
+  std::vector<PhaseId> phase_stack_;
+  std::vector<PhaseId> active_;
+  std::vector<index_t> stack_count_;
+  std::deque<Metrics> phase_totals_;
+  std::vector<char> touched_flag_;
+  std::vector<PhaseId> touched_;
+
   TraceSink* trace_{nullptr};
 
   static TraceSink* global_trace_;

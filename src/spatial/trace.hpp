@@ -15,6 +15,7 @@
 
 #include "spatial/clock.hpp"
 #include "spatial/geometry.hpp"
+#include "spatial/phase.hpp"
 
 #include <cstdint>
 #include <string>
@@ -63,10 +64,14 @@ class TraceSink {
   virtual void on_death(Coord at) { (void)at; }
 
   /// A named cost-attribution phase was entered (Machine::PhaseScope).
-  virtual void on_phase_enter(const std::string& name) { (void)name; }
+  /// Phase events carry interned ids, not names, so sinks on the hot path
+  /// (the conformance checker's epoch accounting) never touch strings;
+  /// PhaseRegistry::instance().name(id) rematerializes the name when a
+  /// sink needs it for reporting.
+  virtual void on_phase_enter(PhaseId id) { (void)id; }
 
   /// The innermost phase was exited.
-  virtual void on_phase_exit(const std::string& name) { (void)name; }
+  virtual void on_phase_exit(PhaseId id) { (void)id; }
 
   /// The machine's counters were cleared (Machine construction or reset).
   virtual void on_reset() {}

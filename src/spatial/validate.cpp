@@ -89,7 +89,9 @@ ConformanceChecker::ConformanceChecker(Config config)
 }
 
 std::string ConformanceChecker::current_phase() const {
-  return phase_stack_.empty() ? std::string("<top>") : phase_stack_.back();
+  return phase_stack_.empty()
+             ? std::string("<top>")
+             : PhaseRegistry::instance().name(phase_stack_.back());
 }
 
 void ConformanceChecker::record(ViolationKind kind, Coord at,
@@ -213,20 +215,23 @@ void ConformanceChecker::on_death(Coord at) {
   dead_.insert(at);
 }
 
-void ConformanceChecker::on_phase_enter(const std::string& name) {
-  phase_stack_.push_back(name);
+void ConformanceChecker::on_phase_enter(PhaseId id) {
+  phase_stack_.push_back(id);
   new_epoch();
 }
 
-void ConformanceChecker::on_phase_exit(const std::string& name) {
+void ConformanceChecker::on_phase_exit(PhaseId id) {
   if (phase_stack_.empty()) {
     record(ViolationKind::kUnbalancedPhase, Coord{},
-           "phase \"" + name + "\" exited but never entered");
+           "phase \"" + PhaseRegistry::instance().name(id) +
+               "\" exited but never entered");
   } else {
     // Machines share one checker; exits must match the innermost entry.
-    if (phase_stack_.back() != name) {
+    if (phase_stack_.back() != id) {
       record(ViolationKind::kUnbalancedPhase, Coord{},
-             "phase \"" + name + "\" exited while \"" + phase_stack_.back() +
+             "phase \"" + PhaseRegistry::instance().name(id) +
+                 "\" exited while \"" +
+                 PhaseRegistry::instance().name(phase_stack_.back()) +
                  "\" is innermost");
     }
     phase_stack_.pop_back();
@@ -239,7 +244,8 @@ void ConformanceChecker::on_reset() { new_epoch(); }
 void ConformanceChecker::finish() {
   while (!phase_stack_.empty()) {
     record(ViolationKind::kUnbalancedPhase, Coord{},
-           "phase \"" + phase_stack_.back() + "\" entered but never exited");
+           "phase \"" + PhaseRegistry::instance().name(phase_stack_.back()) +
+               "\" entered but never exited");
     phase_stack_.pop_back();
   }
 }

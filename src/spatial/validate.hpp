@@ -130,8 +130,8 @@ class ConformanceChecker final : public TraceSink {
   void on_send(const MessageEvent& e) override;
   void on_birth(Coord at, Clock c) override;
   void on_death(Coord at) override;
-  void on_phase_enter(const std::string& name) override;
-  void on_phase_exit(const std::string& name) override;
+  void on_phase_enter(PhaseId id) override;
+  void on_phase_exit(PhaseId id) override;
   void on_reset() override;
 
   /// End-of-run structural checks (currently: phase balance). Idempotent
@@ -166,7 +166,10 @@ class ConformanceChecker final : public TraceSink {
 
   Config config_;
   ConformanceReport report_;
-  std::vector<std::string> phase_stack_;
+  // Interned ids, mirroring the Machine's stack: phase transitions cost
+  // two integer ops here, and names are looked up only when a violation
+  // is actually recorded.
+  std::vector<PhaseId> phase_stack_;
   std::unordered_map<Coord, index_t, CoordHash> residency_;
   std::unordered_set<Coord, CoordHash> dead_;
   std::vector<MessageEvent> ring_;

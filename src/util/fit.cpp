@@ -33,6 +33,7 @@ PowerFit fit_loglog(const std::vector<double>& xs,
   const double dk = static_cast<double>(k);
   const double denom = dk * sxx - sx * sx;
   if (denom == 0) return fit;
+  fit.valid = true;
   fit.exponent = (dk * sxy - sx * sy) / denom;
   fit.log_constant = (sy - fit.exponent * sx) / dk;
 
@@ -63,10 +64,17 @@ PowerFit fit_polylog(const std::vector<double>& n,
 }
 
 bool exponent_matches(const PowerFit& fit, double expected, double tol) {
-  return std::abs(fit.exponent - expected) <= tol;
+  return fit.valid && std::abs(fit.exponent - expected) <= tol;
 }
 
+namespace {
+
+const char* const kNoFit = "no fit (<2 usable points)";
+
+}  // namespace
+
 std::string describe_power(const PowerFit& fit) {
+  if (!fit.valid) return kNoFit;
   std::ostringstream os;
   os.precision(3);
   os << "n^" << fit.exponent << " (r2=" << fit.r2 << ")";
@@ -74,6 +82,7 @@ std::string describe_power(const PowerFit& fit) {
 }
 
 std::string describe_polylog(const PowerFit& fit) {
+  if (!fit.valid) return kNoFit;
   std::ostringstream os;
   os.precision(3);
   os << "(log n)^" << fit.exponent << " (r2=" << fit.r2 << ")";

@@ -15,14 +15,20 @@ namespace scm::util {
 
 /// Result of a least-squares fit of log(cost) against log(x): cost ~
 /// C * x^exponent with goodness-of-fit r2 in [0, 1].
+///
+/// `valid` is false for degenerate inputs (fewer than two usable points,
+/// or a zero log-log denominator, i.e. all x equal): such a "fit" carries
+/// no shape information and its zero exponent must never satisfy a claim
+/// — a claim checked against an invalid fit is INCONCLUSIVE, not PASS.
 struct PowerFit {
   double exponent{0.0};
   double log_constant{0.0};
   double r2{0.0};
+  bool valid{false};
 };
 
 /// Fits cost ~ C * n^alpha from matched (n, cost) series. Requires at least
-/// two points with positive n and cost.
+/// two points with positive n and cost; otherwise returns an invalid fit.
 [[nodiscard]] PowerFit fit_power_law(const std::vector<double>& n,
                                      const std::vector<double>& cost);
 
@@ -31,8 +37,9 @@ struct PowerFit {
 [[nodiscard]] PowerFit fit_polylog(const std::vector<double>& n,
                                    const std::vector<double>& cost);
 
-/// True when the measured exponent is within +-tol of `expected`; used by
-/// benches to print PASS/FAIL against the paper's claimed shape.
+/// True when the fit is valid and the measured exponent is within +-tol of
+/// `expected`; used by benches to print PASS/FAIL against the paper's
+/// claimed shape. Always false for invalid (degenerate) fits.
 [[nodiscard]] bool exponent_matches(const PowerFit& fit, double expected,
                                     double tol);
 

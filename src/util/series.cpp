@@ -1,0 +1,135 @@
+#include "util/series.hpp"
+
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace scm::util {
+
+SeriesRegistry& SeriesRegistry::instance() {
+  static SeriesRegistry r;
+  return r;
+}
+
+void SeriesRegistry::add(const std::string& series, double n,
+                         const Metrics& m) {
+  auto& samples = series_[series];
+  const auto it = std::lower_bound(
+      samples.begin(), samples.end(), n,
+      [](const Sample& s, double v) { return s.n < v; });
+  if (it != samples.end() && it->n == n) {
+    it->metrics = m;
+    return;
+  }
+  samples.insert(it, Sample{n, m});
+}
+
+const std::vector<Sample>& SeriesRegistry::series(
+    const std::string& name) const {
+  static const std::vector<Sample> empty;
+  const auto it = series_.find(name);
+  return it == series_.end() ? empty : it->second;
+}
+
+bool known_metric(const std::string& metric) {
+  return metric == "energy" || metric == "depth" || metric == "distance" ||
+         metric == "messages";
+}
+
+double metric_value(const Metrics& m, const std::string& metric) {
+  if (metric == "energy") return static_cast<double>(m.energy);
+  if (metric == "depth") return static_cast<double>(m.depth());
+  if (metric == "distance") return static_cast<double>(m.distance());
+  if (metric == "messages") return static_cast<double>(m.messages);
+  assert(false && "unknown metric name in a Claim");
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+void print_series(const std::string& title, const std::string& series,
+                  const std::vector<Claim>& claims,
+                  bool upper_bound_ok_below) {
+  const std::vector<Sample>& samples =
+      SeriesRegistry::instance().series(series);
+  if (samples.empty()) return;
+
+  util::Table table({"n", "energy", "depth", "distance", "energy/n",
+                     "energy/n^1.5", "dist/sqrt(n)"});
+  table.set_caption("\n== " + title + " ==");
+  for (const Sample& s : samples) {
+    table.add_row({util::fmt_count(static_cast<long long>(s.n)),
+                   util::fmt_count(s.metrics.energy),
+                   util::fmt_count(s.metrics.depth()),
+                   util::fmt_count(s.metrics.distance()),
+                   util::fmt_double(static_cast<double>(s.metrics.energy) /
+                                    s.n),
+                   util::fmt_double(static_cast<double>(s.metrics.energy) /
+                                    std::pow(s.n, 1.5)),
+                   util::fmt_double(
+                       static_cast<double>(s.metrics.distance()) /
+                       std::sqrt(s.n))});
+  }
+  table.print();
+
+  std::vector<double> ns;
+  for (const Sample& s : samples) ns.push_back(s.n);
+  for (const Claim& c : claims) {
+    if (!known_metric(c.metric)) {
+      std::printf("  claim %-8s ~ %s: unknown metric name -> FAIL\n",
+                  c.metric.c_str(), c.paper.c_str());
+      continue;
+    }
+    std::vector<double> ys;
+    for (const Sample& s : samples) {
+      ys.push_back(metric_value(s.metrics, c.metric));
+    }
+    const util::PowerFit fit =
+        c.polylog ? util::fit_polylog(ns, ys) : util::fit_power_law(ns, ys);
+    const std::string described =
+        c.polylog ? util::describe_polylog(fit) : util::describe_power(fit);
+    if (!fit.valid) {
+      // A degenerate fit (< 2 usable points or zero spread) carries no
+      // shape information: the claim is neither confirmed nor refuted.
+      std::printf("  claim %-8s ~ %s: fitted %s -> INCONCLUSIVE\n",
+                  c.metric.c_str(), c.paper.c_str(), described.c_str());
+      continue;
+    }
+    const bool within = util::exponent_matches(fit, c.expected, c.tol);
+    const bool below = upper_bound_ok_below && fit.exponent < c.expected;
+    const bool pass = within || below;
+    std::printf("  claim %-8s ~ %s: fitted %s -> %s\n", c.metric.c_str(),
+                c.paper.c_str(), described.c_str(), pass ? "PASS" : "FAIL");
+  }
+}
+
+void print_ratio(const std::string& title, const std::string& a,
+                 const std::string& b, const std::string& metric) {
+  if (!known_metric(metric)) {
+    std::printf("\n== %s ==\n  unknown metric name \"%s\" -> FAIL\n",
+                title.c_str(), metric.c_str());
+    return;
+  }
+  const auto& sa = SeriesRegistry::instance().series(a);
+  const auto& sb = SeriesRegistry::instance().series(b);
+  if (sa.empty() || sb.empty()) return;
+  util::Table table({"n", a + " " + metric, b + " " + metric,
+                     "ratio " + a + "/" + b});
+  table.set_caption("\n== " + title + " ==");
+  for (const Sample& x : sa) {
+    for (const Sample& y : sb) {
+      if (x.n != y.n) continue;
+      const double va = metric_value(x.metrics, metric);
+      const double vb = metric_value(y.metrics, metric);
+      table.add_row({util::fmt_count(static_cast<long long>(x.n)),
+                     util::fmt_count(static_cast<long long>(va)),
+                     util::fmt_count(static_cast<long long>(vb)),
+                     util::fmt_double(vb == 0 ? 0.0 : va / vb)});
+    }
+  }
+  table.print();
+}
+
+}  // namespace scm::util

@@ -1,0 +1,84 @@
+// Measured-series store and paper-claim validation for the benchmark
+// harness — the part of bench/bench_common.hpp with no google-benchmark
+// dependency, so the PASS/FAIL/INCONCLUSIVE logic is unit-testable.
+//
+// Benches record (series, n, Metrics) points into the process-wide
+// SeriesRegistry; after the run, print_series renders the paper-style
+// table and fits the growth shapes against claimed bounds, and
+// print_ratio renders head-to-head comparisons at matching n.
+#pragma once
+
+#include "spatial/metrics.hpp"
+#include "util/fit.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scm::util {
+
+/// One measured point of a series.
+struct Sample {
+  double n{0};
+  Metrics metrics;
+};
+
+/// Process-wide store of measurements, keyed by series name, with points
+/// kept sorted (and deduplicated) by n regardless of the order benchmarks
+/// registered or ran — series tables, fits, and ratio rows must not
+/// depend on registration order.
+class SeriesRegistry {
+ public:
+  static SeriesRegistry& instance();
+
+  /// Inserts the point at its sorted position; a point with the same n
+  /// overwrites the previous measurement.
+  void add(const std::string& series, double n, const Metrics& m);
+
+  /// The series' samples in ascending n; empty if never recorded.
+  [[nodiscard]] const std::vector<Sample>& series(
+      const std::string& name) const;
+
+ private:
+  SeriesRegistry() = default;
+  std::map<std::string, std::vector<Sample>> series_;
+};
+
+/// True for the metric names a Claim may reference ("energy", "depth",
+/// "distance", "messages").
+[[nodiscard]] bool known_metric(const std::string& metric);
+
+/// The named metric of `m`. Unknown names are a harness bug (a typo'd
+/// Claim would otherwise silently validate the wrong series): they assert
+/// in debug builds and return NaN — which can never PASS — otherwise.
+[[nodiscard]] double metric_value(const Metrics& m,
+                                  const std::string& metric);
+
+/// A claimed growth shape to validate against a measured series.
+struct Claim {
+  std::string metric;    ///< "energy" | "depth" | "distance" | "messages"
+  bool polylog{false};   ///< power law in n (false) or in log2 n (true)
+  double expected{1.0};  ///< claimed exponent
+  double tol{0.25};      ///< accepted deviation of the fitted exponent
+  std::string paper;     ///< the paper's statement, e.g. "Theta(n)"
+};
+
+/// Prints the series' measured rows plus one fitted line per claim:
+///   * PASS / FAIL against the claimed exponent when the fit is valid
+///     (upper-bound claims accept exponents below expected - tol too,
+///     which `upper_bound_ok_below` enables);
+///   * INCONCLUSIVE when the fit is degenerate (< 2 usable points) — a
+///     degenerate fit supports no claim, in particular never a PASS;
+///   * FAIL (unknown metric) when the claim names a metric that does not
+///     exist — loud, so a typo cannot masquerade as a validated claim.
+void print_series(const std::string& title, const std::string& series,
+                  const std::vector<Claim>& claims,
+                  bool upper_bound_ok_below = true);
+
+/// Ratio table between two series at matching n (who wins, by what
+/// factor) — used by the comparison benches (Fig. 2, baselines, PRAM).
+/// Unknown metric names print a FAIL line instead of a table.
+void print_ratio(const std::string& title, const std::string& a,
+                 const std::string& b, const std::string& metric);
+
+}  // namespace scm::util

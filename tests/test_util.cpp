@@ -1,8 +1,10 @@
-// Tests of the bench-harness utilities: exponent fitting, table printing,
-// CLI parsing, and the COO generators.
+// Tests of the bench-harness utilities: exponent fitting, series
+// registration and claim checking, table printing, CLI parsing, and the
+// COO generators.
 #include "spmv/generators.hpp"
 #include "util/cli.hpp"
 #include "util/fit.hpp"
+#include "util/series.hpp"
 #include "util/table.hpp"
 
 #include <gtest/gtest.h>
@@ -43,13 +45,111 @@ TEST(Fit, DegenerateInputsAreSafe) {
   const util::PowerFit fit =
       util::fit_power_law({1.0, 2.0, 0.0}, {3.0, 6.0, -1.0});
   EXPECT_NEAR(fit.exponent, 1.0, 1e-9);  // non-positive points are dropped
+  EXPECT_TRUE(fit.valid);
+}
+
+TEST(Fit, DegenerateFitsAreInvalidAndNeverMatch) {
+  // Zero points, one point, points with non-positive cost, and points
+  // with zero spread in n all produce exponent 0 — which previously
+  // satisfied every upper-bound claim (fit.exponent < expected). The
+  // valid flag marks them as carrying no shape information.
+  const util::PowerFit empty = util::fit_power_law({}, {});
+  const util::PowerFit single = util::fit_power_law({4.0}, {2.0});
+  const util::PowerFit zeros =
+      util::fit_power_law({64.0, 256.0}, {0.0, 0.0});
+  const util::PowerFit no_spread =
+      util::fit_power_law({8.0, 8.0}, {1.0, 2.0});
+  for (const util::PowerFit* fit : {&empty, &single, &zeros, &no_spread}) {
+    EXPECT_FALSE(fit->valid);
+    EXPECT_EQ(fit->exponent, 0.0);
+    // Even an arbitrarily generous tolerance must not match.
+    EXPECT_FALSE(util::exponent_matches(*fit, 0.0, 100.0));
+  }
+  EXPECT_FALSE(util::fit_polylog({4.0}, {2.0}).valid);
 }
 
 TEST(Fit, DescribeProducesReadableStrings) {
-  const util::PowerFit fit{1.52, 0.0, 0.999};
+  const util::PowerFit fit{1.52, 0.0, 0.999, true};
   EXPECT_NE(util::describe_power(fit).find("n^1.52"), std::string::npos);
   EXPECT_NE(util::describe_polylog(fit).find("(log n)^1.52"),
             std::string::npos);
+  // Invalid fits say so instead of rendering a meaningless n^0.
+  const util::PowerFit invalid{};
+  EXPECT_NE(util::describe_power(invalid).find("no fit"), std::string::npos);
+}
+
+TEST(Series, RegistryKeepsSamplesSortedAndDeduplicatedByN) {
+  // Points arrive in registration order, not size order; the registry
+  // guarantees ascending n with same-n overwrites so tables, fits, and
+  // ratio rows never depend on benchmark registration order.
+  auto& reg = util::SeriesRegistry::instance();
+  Metrics a;
+  a.energy = 10;
+  Metrics b;
+  b.energy = 20;
+  Metrics c;
+  c.energy = 30;
+  Metrics b2;
+  b2.energy = 25;
+  reg.add("test_series_order", 1024.0, b);
+  reg.add("test_series_order", 256.0, a);
+  reg.add("test_series_order", 4096.0, c);
+  reg.add("test_series_order", 1024.0, b2);  // dedup: overwrite, not append
+  const auto& samples = reg.series("test_series_order");
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].n, 256.0);
+  EXPECT_EQ(samples[1].n, 1024.0);
+  EXPECT_EQ(samples[2].n, 4096.0);
+  EXPECT_EQ(samples[1].metrics.energy, 25);
+  EXPECT_TRUE(reg.series("never_registered").empty());
+}
+
+TEST(Series, UnknownMetricNamesAreRejected) {
+  EXPECT_TRUE(util::known_metric("energy"));
+  EXPECT_TRUE(util::known_metric("depth"));
+  EXPECT_TRUE(util::known_metric("distance"));
+  EXPECT_TRUE(util::known_metric("messages"));
+  EXPECT_FALSE(util::known_metric("mesages"));  // the typo that motivated this
+  EXPECT_FALSE(util::known_metric(""));
+#ifdef NDEBUG
+  // In release builds the assert is compiled out; the NaN return can
+  // never satisfy a claim comparison.
+  Metrics m;
+  m.messages = 7;
+  EXPECT_TRUE(std::isnan(util::metric_value(m, "mesages")));
+#endif
+}
+
+TEST(Series, PrintSeriesMarksDegenerateFitsInconclusive) {
+  // A series whose metric has < 2 positive points must not PASS any
+  // claim — the fit is degenerate, so the claim is INCONCLUSIVE.
+  auto& reg = util::SeriesRegistry::instance();
+  Metrics zero;  // energy 0 at both sizes: zero usable log-log points
+  reg.add("test_series_degenerate", 256.0, zero);
+  reg.add("test_series_degenerate", 1024.0, zero);
+  ::testing::internal::CaptureStdout();
+  util::print_series("degenerate", "test_series_degenerate",
+                     {{"energy", false, 1.0, 0.1, "Theta(n)"},
+                      {"depth", true, 1.0, 0.25, "O(log n)"}});
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("INCONCLUSIVE"), std::string::npos);
+  EXPECT_EQ(out.find("PASS"), std::string::npos);
+}
+
+TEST(Series, PrintSeriesFailsUnknownMetricClaimsLoudly) {
+  auto& reg = util::SeriesRegistry::instance();
+  Metrics m;
+  m.energy = 100;
+  reg.add("test_series_typo", 256.0, m);
+  m.energy = 400;
+  reg.add("test_series_typo", 1024.0, m);
+  ::testing::internal::CaptureStdout();
+  util::print_series("typo", "test_series_typo",
+                     {{"enregy", false, 1.0, 0.1, "Theta(n)"}});
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("unknown metric"), std::string::npos);
+  EXPECT_NE(out.find("FAIL"), std::string::npos);
+  EXPECT_EQ(out.find("PASS"), std::string::npos);
 }
 
 TEST(Table, AlignsColumnsAndCounts) {
