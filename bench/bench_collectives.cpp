@@ -95,8 +95,11 @@ BENCHMARK(BM_BroadcastSkewed)
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  scm::util::Cli cli(argc, argv);
+  scm::util::ProfileSession profile(cli);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  profile.finish();
 
   scm::bench::print_series(
       "Quadrant broadcast on square subgrids (Lemma IV.1)", "broadcast",

@@ -13,9 +13,16 @@
 // The registry, claim checking, and table printing live in
 // src/util/series.{hpp,cpp} (unit-tested, no google-benchmark
 // dependency); this header only adds the google-benchmark glue.
+// Observability: every bench main constructs a util::Cli (after
+// benchmark::Initialize, which consumes its own flags) and a
+// util::ProfileSession, so `--profile=<path>` / `--trace-json=<path>` /
+// `--profile-ascii` work on every table/figure binary and the emitted
+// artifact explains the numbers of the last (largest) benchmark run. See
+// docs/OBSERVABILITY.md.
 #pragma once
 
 #include "spatial/metrics.hpp"
+#include "util/profile_session.hpp"
 #include "util/series.hpp"
 
 #include <benchmark/benchmark.h>

@@ -115,8 +115,11 @@ BENCHMARK(BM_Mergesort)
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  scm::util::Cli cli(argc, argv);
+  scm::util::ProfileSession profile(cli);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  profile.finish();
 
   scm::bench::print_series(
       "Bitonic Sort, row-major 2-D layout (Lemma V.4)", "bitonic",

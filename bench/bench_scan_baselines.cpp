@@ -102,8 +102,11 @@ BENCHMARK(BM_SequentialScan)
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  scm::util::Cli cli(argc, argv);
+  scm::util::ProfileSession profile(cli);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  profile.finish();
 
   scm::bench::print_series(
       "2-D Z-order scan (Lemma IV.3): optimal on both axes", "scan2d",

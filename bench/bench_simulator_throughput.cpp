@@ -15,11 +15,18 @@
 //   * mixed_recursion — alternating sort/merge/step names, the realistic
 //                       recursive profile.
 //
+// The *_profiled / *_witness shapes re-run the common cases with a
+// Profiler TraceSink attached (tree only, then tree + critical-path
+// witness), bounding the observability tax: the tree profiler must stay
+// within 2x of the bare attribution path, per the acceptance bar recorded
+// in BENCH_simulator.json.
+//
 // Results are tracked in BENCH_simulator.json (events/sec before and
 // after the interned-PhaseId attribution engine); CI runs this bench with
 // --benchmark_min_time=0.01 as a smoke test so regressions on the
 // attribution path show up per PR.
 #include "spatial/machine.hpp"
+#include "spatial/profile.hpp"
 
 #include <benchmark/benchmark.h>
 
@@ -102,6 +109,61 @@ void BM_MixedRecursion(benchmark::State& state) {
   for (int d = 0; d < depth; ++d) m.end_phase();
 }
 BENCHMARK(BM_MixedRecursion)->Arg(16)->Arg(64);
+
+// The tree-profiler tax on the common single-scope shape: same event
+// batch, with the phase-tree Profiler (witness off) receiving every
+// event. Acceptance: <= 2x slower than BM_SinglePhase.
+void BM_SinglePhaseProfiled(benchmark::State& state) {
+  Machine m;
+  Profiler profiler;
+  m.set_trace(&profiler);
+  m.begin_phase("leaf");
+  measure(state, m);
+  m.end_phase();
+  m.set_trace(nullptr);
+}
+BENCHMARK(BM_SinglePhaseProfiled);
+
+// Deep distinct-name recursion with the profiler attached: the tree walk
+// is O(1) per event (self counters only), so depth must not matter.
+void BM_DeepRecursiveProfiled(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Machine m;
+  Profiler profiler;
+  m.set_trace(&profiler);
+  for (int d = 0; d < depth; ++d) {
+    m.begin_phase("level" + std::to_string(d));
+  }
+  measure(state, m);
+  for (int d = 0; d < depth; ++d) m.end_phase();
+  m.set_trace(nullptr);
+}
+BENCHMARK(BM_DeepRecursiveProfiled)->Arg(16)->Arg(64);
+
+// Tree profiler + critical-path witness recorder: adds the per-event
+// witness append + two hash try_emplaces. This is the opt-in worst case
+// (--profile with witness on).
+void BM_SinglePhaseWitness(benchmark::State& state) {
+  Machine m;
+  Profiler profiler(Profiler::Options{.witness = true, .load_map = false});
+  m.set_trace(&profiler);
+  m.begin_phase("leaf");
+  // Reset per batch so the witness record stays bounded over the
+  // benchmark's many iterations (a real profiled run records one
+  // execution); amortized over 4096 events the reset is noise.
+  for (auto _ : state) {
+    run_event_batch(m);
+    benchmark::DoNotOptimize(m.metrics().energy);
+    m.reset();
+  }
+  state.SetItemsProcessed(state.iterations() * kEventsPerBatch);
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kEventsPerBatch),
+      benchmark::Counter::kIsRate);
+  m.end_phase();
+  m.set_trace(nullptr);
+}
+BENCHMARK(BM_SinglePhaseWitness);
 
 // Phase-transition throughput: scope enter/exit pairs per second. The
 // interned engine moves the dedup work here (per transition), so this

@@ -62,8 +62,11 @@ BENCHMARK(BM_SegmentedScan)
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  scm::util::Cli cli(argc, argv);
+  scm::util::ProfileSession profile(cli);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  profile.finish();
 
   scm::bench::print_series(
       "Table I / Parallel Scan (Lemma IV.3)", "scan",

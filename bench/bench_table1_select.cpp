@@ -74,8 +74,11 @@ BENCHMARK(BM_SelectRankSweep)
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  scm::util::Cli cli(argc, argv);
+  scm::util::ProfileSession profile(cli);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  profile.finish();
 
   scm::bench::print_series(
       "Table I / Rank Selection (Theorem VI.3), median", "select",

@@ -77,8 +77,11 @@ BENCHMARK(BM_Mergesort2D_Distribution)
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  scm::util::Cli cli(argc, argv);
+  scm::util::ProfileSession profile(cli);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  profile.finish();
 
   scm::bench::print_series(
       "Table I / Sorting = 2-D Mergesort (Theorem V.8)", "mergesort2d",

@@ -74,8 +74,11 @@ BENCHMARK(BM_SpmvFamily)
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  scm::util::Cli cli(argc, argv);
+  scm::util::ProfileSession profile(cli);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  profile.finish();
 
   scm::bench::print_series(
       "Table I / SpMV (Theorem VIII.2), m = 2n uniform", "spmv",

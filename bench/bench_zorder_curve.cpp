@@ -66,8 +66,11 @@ BENCHMARK(BM_RowMajorWalk)
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  scm::util::Cli cli(argc, argv);
+  scm::util::ProfileSession profile(cli);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  profile.finish();
 
   scm::bench::print_series(
       "Z-order curve walk (Observation 1)", "zorder-walk",

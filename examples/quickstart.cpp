@@ -3,17 +3,23 @@
 // cost report the library produces for every run.
 //
 //   $ example_quickstart
+//   $ example_quickstart --profile=report.json --trace-json=trace.json
 //
 // The numbers to look at: scan energy is ~4n (linear), mergesort energy
 // tracks n^{3/2}, selection energy is linear again, and all depths are
-// poly-logarithmic.
+// poly-logarithmic. With the observability flags, the profiler emits a
+// machine-readable run report / Perfetto-loadable phase trace of the last
+// block (the selection run) — see docs/OBSERVABILITY.md.
 #include "core/scm.hpp"
+#include "util/profile_session.hpp"
 
 #include <algorithm>
 #include <cstdio>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scm;
+  const util::Cli cli(argc, argv);
+  util::ProfileSession profile(cli);
   const index_t n = 1024;  // a 32 x 32 subgrid
   const auto values = random_doubles(/*seed=*/1, n);
 

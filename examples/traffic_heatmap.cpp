@@ -8,11 +8,14 @@
 // Theta(log n) energy gap of Section IV-C made visible.
 #include "core/scm.hpp"
 #include "spatial/trace.hpp"
+#include "util/profile_session.hpp"
 
 #include <cstdio>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scm;
+  const util::Cli cli(argc, argv);
+  util::ProfileSession profile(cli);
   const index_t n = 4096;  // a 64 x 64 subgrid
   auto vals = random_ints(/*seed=*/1, n, 0, 9);
   const std::vector<long long> v(vals.begin(), vals.end());
@@ -25,9 +28,11 @@ int main() {
     (void)scan(m, a, Plus{});
     std::printf("--- 2-D Z-order scan (Lemma IV.3) ---\n");
     std::printf("%s", map.heatmap(32).c_str());
-    std::printf("energy=%lld  peak load=%lld  imbalance=%.2f\n\n",
-                static_cast<long long>(m.metrics().energy),
-                static_cast<long long>(map.max_load()), map.imbalance());
+    std::printf(
+        "energy=%lld  peak load=%lld  p95=%lld  imbalance=%.2f\n\n",
+        static_cast<long long>(m.metrics().energy),
+        static_cast<long long>(map.max_load()),
+        static_cast<long long>(map.percentile(95.0)), map.imbalance());
   }
   {
     Machine m;
@@ -38,9 +43,11 @@ int main() {
     (void)tree_scan_1d(m, a, Plus{});
     std::printf("--- 1-D binary-tree scan (naive baseline) ---\n");
     std::printf("%s", map.heatmap(32).c_str());
-    std::printf("energy=%lld  peak load=%lld  imbalance=%.2f\n",
-                static_cast<long long>(m.metrics().energy),
-                static_cast<long long>(map.max_load()), map.imbalance());
+    std::printf(
+        "energy=%lld  peak load=%lld  p95=%lld  imbalance=%.2f\n",
+        static_cast<long long>(m.metrics().energy),
+        static_cast<long long>(map.max_load()),
+        static_cast<long long>(map.percentile(95.0)), map.imbalance());
     std::printf("\nhotspots (1-D tree):");
     for (const auto& [coord, load] : map.hotspots(5)) {
       std::printf(" (%lld,%lld)=%lld", static_cast<long long>(coord.row),

@@ -52,6 +52,7 @@
 #include "sort/sort.hpp"               // IWYU pragma: export
 #include "spatial/grid_array.hpp"      // IWYU pragma: export
 #include "spatial/machine.hpp"         // IWYU pragma: export
+#include "spatial/profile.hpp"         // IWYU pragma: export
 #include "spatial/rng.hpp"             // IWYU pragma: export
 #include "spatial/trace.hpp"           // IWYU pragma: export
 #include "spmv/generators.hpp"         // IWYU pragma: export

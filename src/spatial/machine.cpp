@@ -33,6 +33,7 @@ void Machine::op(index_t n) {
   assert(n >= 0);
   totals_.local_ops += n;
   for (const PhaseId id : active_) slot(id).local_ops += n;
+  emit([&](TraceSink& s) { s.on_op(n); });
 }
 
 void Machine::observe(Clock c) {

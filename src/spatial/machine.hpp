@@ -52,7 +52,9 @@ class Machine {
   /// prices actual wire traversals, and "sending to yourself" is local.
   Clock send(Coord from, Coord to, Clock payload);
 
-  /// Records `n` local compute operations (free in the model's metrics).
+  /// Records `n` local compute operations (free in the model's metrics;
+  /// reported to trace sinks via TraceSink::on_op for per-phase work
+  /// attribution).
   void op(index_t n = 1);
 
   /// Records that a value with clock `c` now exists (used when a clock is

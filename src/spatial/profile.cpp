@@ -1,0 +1,447 @@
+#include "spatial/profile.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string_view>
+
+namespace scm {
+
+namespace {
+
+/// JSON string escaping per RFC 8259 (control characters as \u00XX).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string phase_name(PhaseId id) {
+  return id == kNoPhase ? std::string("<top>")
+                        : PhaseRegistry::instance().name(id);
+}
+
+void append_coord(std::ostringstream& os, Coord c) {
+  os << '[' << c.row << ',' << c.col << ']';
+}
+
+void append_clock(std::ostringstream& os, Clock c) {
+  os << "{\"depth\":" << c.depth << ",\"distance\":" << c.distance << '}';
+}
+
+}  // namespace
+
+void DistanceHistogram::add(index_t distance) {
+  assert(distance >= 1);
+  const auto b = static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(distance)) - 1);
+  if (b >= buckets.size()) buckets.resize(b + 1, 0);
+  ++buckets[b];
+  ++count;
+  max_distance = std::max(max_distance, distance);
+}
+
+index_t DistanceHistogram::percentile_lower_bound(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest rank covering p percent of the messages.
+  const auto rank = std::max<index_t>(
+      1, static_cast<index_t>(std::ceil(p / 100.0 *
+                                        static_cast<double>(count))));
+  index_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return static_cast<index_t>(index_t{1} << b);
+  }
+  return static_cast<index_t>(index_t{1} << (buckets.size() - 1));
+}
+
+index_t Profiler::WitnessChain::total_distance() const {
+  index_t sum = 0;
+  for (const WitnessHop& h : hops) sum += h.distance;
+  return sum;
+}
+
+Profiler::Profiler(Options options) : options_(options) {
+  nodes_.push_back(PhaseNode{});
+  if (options_.load_map) load_map_ = std::make_unique<LoadMap>();
+}
+
+std::uint32_t Profiler::child_of(std::uint32_t parent, PhaseId id) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(parent) << 32) | id;
+  const auto [it, inserted] =
+      edges_.try_emplace(key, static_cast<std::uint32_t>(nodes_.size()));
+  if (inserted) {
+    PhaseNode node;
+    node.phase = id;
+    node.parent = parent;
+    node.depth = nodes_[parent].depth + 1;
+    nodes_[parent].children.push_back(it->second);
+    nodes_.push_back(std::move(node));
+  }
+  return it->second;
+}
+
+void Profiler::on_message(Coord from, Coord to, index_t distance) {
+  if (load_map_ != nullptr) load_map_->on_message(from, to, distance);
+}
+
+void Profiler::on_send(const MessageEvent& e) {
+  ++ticks_;
+  totals_.energy += e.distance;
+  ++totals_.messages;
+  totals_.max_clock = Clock::join(totals_.max_clock, e.arrival);
+  PhaseNode& node = nodes_[cur_];
+  node.self_energy += e.distance;
+  ++node.self_messages;
+  node.hist.add(e.distance);
+  if (options_.witness) {
+    record_witness(WitnessEvent{e.from, e.to, e.distance, e.payload,
+                                e.arrival, cur_, /*is_birth=*/false});
+  }
+}
+
+void Profiler::on_op(index_t n) {
+  ++ticks_;
+  totals_.local_ops += n;
+  nodes_[cur_].self_ops += n;
+}
+
+void Profiler::on_birth(Coord at, Clock c) {
+  ++ticks_;
+  totals_.max_clock = Clock::join(totals_.max_clock, c);
+  if (options_.witness) {
+    record_witness(
+        WitnessEvent{at, at, 0, c, c, cur_, /*is_birth=*/true});
+  }
+}
+
+void Profiler::record_witness(const WitnessEvent& e) {
+  const auto idx = static_cast<std::uint32_t>(events_.size());
+  events_.push_back(e);
+  first_depth_.try_emplace(e.arrival.depth, idx);
+  first_distance_.try_emplace(e.arrival.distance, idx);
+}
+
+void Profiler::on_phase_enter(PhaseId id) {
+  stack_.push_back(id);
+  cur_ = child_of(cur_, id);
+  scopes_.push_back(ScopeEvent{true, id, ticks_, totals_.energy});
+}
+
+void Profiler::on_phase_exit(PhaseId id) {
+  if (stack_.empty()) return;  // imbalance is the checker's to report
+  stack_.pop_back();
+  cur_ = nodes_[cur_].parent;
+  scopes_.push_back(ScopeEvent{false, id, ticks_, totals_.energy});
+}
+
+void Profiler::on_reset() { clear(); }
+
+void Profiler::clear() {
+  totals_ = Metrics{};
+  nodes_.clear();
+  nodes_.push_back(PhaseNode{});
+  edges_.clear();
+  cur_ = 0;
+  scopes_.clear();
+  ticks_ = 0;
+  events_.clear();
+  first_depth_.clear();
+  first_distance_.clear();
+  if (load_map_ != nullptr) load_map_->clear();
+  // Like Machine::reset, open PhaseScopes keep attributing: rebuild the
+  // spine of the surviving phase stack at tick 0.
+  for (const PhaseId id : stack_) {
+    cur_ = child_of(cur_, id);
+    scopes_.push_back(ScopeEvent{true, id, 0, 0});
+  }
+}
+
+const LoadMap* Profiler::load_map() const { return load_map_.get(); }
+
+std::vector<std::string> Profiler::phase_path(std::uint32_t node) const {
+  std::vector<std::string> names;
+  for (std::uint32_t i = node; i != 0; i = nodes_[i].parent) {
+    names.push_back(PhaseRegistry::instance().name(nodes_[i].phase));
+  }
+  std::reverse(names.begin(), names.end());
+  return names;
+}
+
+Profiler::WitnessChain Profiler::reconstruct_chain(bool by_depth) const {
+  // Backward component-wise walk. Every payload clock of a conforming
+  // execution is a join (component-wise max) of previously observed
+  // clocks, so each component value on the chain was achieved by some
+  // earlier recorded event; the first achiever is a valid predecessor.
+  // The needed component strictly decreases (a hop adds >= 1 to depth
+  // and >= 1 to distance), so the walk terminates.
+  const auto& first = by_depth ? first_depth_ : first_distance_;
+  const auto component = [by_depth](Clock c) {
+    return by_depth ? c.depth : c.distance;
+  };
+  WitnessChain chain;
+  index_t need = component(totals_.max_clock);
+  std::vector<WitnessHop> reversed;
+  while (need > 0) {
+    const auto it = first.find(need);
+    if (it == first.end()) {
+      // Only possible when the profiler missed part of the history
+      // (attached mid-run or raised via Machine::observe of a clock with
+      // no recorded origin).
+      chain.complete = false;
+      break;
+    }
+    const WitnessEvent& e = events_[it->second];
+    if (e.is_birth) {
+      chain.start_clock = e.arrival;
+      break;
+    }
+    reversed.push_back(WitnessHop{e.from, e.to, e.distance, e.payload,
+                                  e.arrival, phase_path(e.node)});
+    need = component(e.payload);
+  }
+  chain.hops.assign(reversed.rbegin(), reversed.rend());
+  return chain;
+}
+
+Profiler::CriticalPathWitness Profiler::critical_path() const {
+  CriticalPathWitness path;
+  if (!options_.witness) return path;
+  path.enabled = true;
+  path.depth_chain = reconstruct_chain(/*by_depth=*/true);
+  path.distance_chain = reconstruct_chain(/*by_depth=*/false);
+  return path;
+}
+
+std::vector<Metrics> Profiler::rolled_up_totals() const {
+  std::vector<Metrics> totals(nodes_.size());
+  // Children always have larger indices than their parent, so a reverse
+  // index sweep is bottom-up.
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    const PhaseNode& node = nodes_[i];
+    Metrics& t = totals[i];
+    t.energy += node.self_energy;
+    t.messages += node.self_messages;
+    t.local_ops += node.self_ops;
+    if (i != 0) {
+      Metrics& p = totals[node.parent];
+      p.energy += t.energy;
+      p.messages += t.messages;
+      p.local_ops += t.local_ops;
+    }
+  }
+  return totals;
+}
+
+std::string Profiler::ascii_report() const {
+  const std::vector<Metrics> totals = rolled_up_totals();
+  std::ostringstream os;
+  os << "phase tree (energy = Manhattan-distance units; dist = per-message "
+        "p50/max)\n";
+  os << std::left << std::setw(40) << "phase" << std::right
+     << std::setw(12) << "energy" << std::setw(12) << "self"
+     << std::setw(10) << "msgs" << std::setw(12) << "ops" << std::setw(12)
+     << "dist" << "\n";
+  // Depth-first over the tree in creation (= first-entered) order.
+  std::vector<std::uint32_t> dfs{0};
+  while (!dfs.empty()) {
+    const std::uint32_t i = dfs.back();
+    dfs.pop_back();
+    const PhaseNode& node = nodes_[i];
+    std::string label(static_cast<std::size_t>(node.depth) * 2, ' ');
+    label += phase_name(node.phase);
+    if (label.size() > 39) label.resize(39);
+    std::string dist = "-";
+    if (node.hist.count > 0) {
+      dist = std::to_string(node.hist.percentile_lower_bound(50.0)) + "/" +
+             std::to_string(node.hist.max_distance);
+    }
+    os << std::left << std::setw(40) << label << std::right
+       << std::setw(12) << totals[i].energy << std::setw(12)
+       << node.self_energy << std::setw(10) << totals[i].messages
+       << std::setw(12) << totals[i].local_ops << std::setw(12) << dist
+       << "\n";
+    for (auto it = node.children.rbegin(); it != node.children.rend();
+         ++it) {
+      dfs.push_back(*it);
+    }
+  }
+  os << "totals: " << totals_.str() << "\n";
+  return os.str();
+}
+
+std::string Profiler::chrome_trace_json() const {
+  // One B/E pair per phase scope over the virtual tick axis ("ts" is in
+  // microseconds as far as the viewer is concerned; here 1 us = 1 charged
+  // event). Scopes still open at export get a closing E at the final
+  // tick so the file is always well-formed.
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"scm simulated run\"}}";
+  std::int64_t open = 0;
+  for (const ScopeEvent& s : scopes_) {
+    os << ",\n{\"ph\":\"" << (s.enter ? 'B' : 'E') << "\",\"pid\":0,"
+       << "\"tid\":0,\"ts\":" << s.tick << ",\"name\":\""
+       << json_escape(phase_name(s.phase)) << "\",\"cat\":\"phase\","
+       << "\"args\":{\"energy\":" << s.energy << "}}";
+    open += s.enter ? 1 : -1;
+  }
+  assert(open == static_cast<std::int64_t>(stack_.size()));
+  (void)open;
+  for (std::size_t i = stack_.size(); i-- > 0;) {
+    os << ",\n{\"ph\":\"E\",\"pid\":0,\"tid\":0,\"ts\":" << ticks_
+       << ",\"name\":\"" << json_escape(phase_name(stack_[i]))
+       << "\",\"cat\":\"phase\",\"args\":{\"energy\":" << totals_.energy
+       << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+namespace {
+
+void append_metrics(std::ostringstream& os, const Metrics& m) {
+  os << "{\"energy\":" << m.energy << ",\"messages\":" << m.messages
+     << ",\"local_ops\":" << m.local_ops << ",\"depth\":" << m.depth()
+     << ",\"distance\":" << m.distance() << '}';
+}
+
+void append_chain(std::ostringstream& os,
+                  const Profiler::WitnessChain& chain) {
+  os << "{\"complete\":" << (chain.complete ? "true" : "false")
+     << ",\"hops\":" << chain.hop_count()
+     << ",\"total_distance\":" << chain.total_distance()
+     << ",\"start_clock\":";
+  append_clock(os, chain.start_clock);
+  os << ",\"messages\":[";
+  for (std::size_t i = 0; i < chain.hops.size(); ++i) {
+    const Profiler::WitnessHop& h = chain.hops[i];
+    if (i != 0) os << ',';
+    os << "\n{\"from\":";
+    append_coord(os, h.from);
+    os << ",\"to\":";
+    append_coord(os, h.to);
+    os << ",\"distance\":" << h.distance << ",\"payload\":";
+    append_clock(os, h.payload);
+    os << ",\"arrival\":";
+    append_clock(os, h.arrival);
+    os << ",\"phases\":[";
+    for (std::size_t p = 0; p < h.phases.size(); ++p) {
+      if (p != 0) os << ',';
+      os << '"' << json_escape(h.phases[p]) << '"';
+    }
+    os << "]}";
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+std::string Profiler::json_report() const {
+  const std::vector<Metrics> rolled = rolled_up_totals();
+  std::ostringstream os;
+  os << "{\n\"schema\":\"scm-run-report\",\"schema_version\":"
+     << kSchemaVersion << ",\n\"ticks\":" << ticks_ << ",\n\"totals\":";
+  append_metrics(os, totals_);
+
+  // Phase tree, recursively. An explicit stack mirrors ascii_report's
+  // DFS; each pop closes the node's "children" array and object.
+  os << ",\n\"phase_tree\":";
+  struct Frame {
+    std::uint32_t node;
+    std::size_t next_child{0};
+  };
+  std::vector<Frame> stack{{0, 0}};
+  std::vector<bool> opened(nodes_.size(), false);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const PhaseNode& node = nodes_[f.node];
+    if (!opened[f.node]) {
+      opened[f.node] = true;
+      os << "\n{\"name\":\"" << json_escape(phase_name(node.phase))
+         << "\",\"self\":";
+      Metrics self;
+      self.energy = node.self_energy;
+      self.messages = node.self_messages;
+      self.local_ops = node.self_ops;
+      append_metrics(os, self);
+      os << ",\"total\":";
+      append_metrics(os, rolled[f.node]);
+      os << ",\"distance_histogram\":{\"log2_buckets\":[";
+      for (std::size_t b = 0; b < node.hist.buckets.size(); ++b) {
+        if (b != 0) os << ',';
+        os << node.hist.buckets[b];
+      }
+      os << "],\"max\":" << node.hist.max_distance << '}';
+      os << ",\"children\":[";
+    }
+    if (f.next_child < node.children.size()) {
+      if (f.next_child != 0) os << ',';
+      const std::uint32_t child = node.children[f.next_child++];
+      stack.push_back(Frame{child, 0});
+    } else {
+      os << "]}";
+      stack.pop_back();
+    }
+  }
+
+  const CriticalPathWitness path = critical_path();
+  os << ",\n\"critical_path\":{\"enabled\":"
+     << (path.enabled ? "true" : "false");
+  if (path.enabled) {
+    os << ",\"depth_chain\":";
+    append_chain(os, path.depth_chain);
+    os << ",\"distance_chain\":";
+    append_chain(os, path.distance_chain);
+  }
+  os << '}';
+
+  os << ",\n\"load\":{\"enabled\":"
+     << (load_map_ != nullptr ? "true" : "false");
+  if (load_map_ != nullptr) {
+    const LoadMap& lm = *load_map_;
+    os << ",\"messages\":" << lm.messages()
+       << ",\"total_load\":" << lm.total_load()
+       << ",\"max_load\":" << lm.max_load() << ",\"imbalance\":"
+       << lm.imbalance() << ",\"p50\":" << lm.percentile(50.0)
+       << ",\"p95\":" << lm.percentile(95.0)
+       << ",\"p99\":" << lm.percentile(99.0) << ",\"hotspots\":[";
+    const auto spots = lm.hotspots(5);
+    for (std::size_t i = 0; i < spots.size(); ++i) {
+      if (i != 0) os << ',';
+      os << "{\"at\":";
+      append_coord(os, spots[i].first);
+      os << ",\"load\":" << spots[i].second << '}';
+    }
+    os << ']';
+  }
+  os << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace scm

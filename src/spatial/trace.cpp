@@ -54,13 +54,33 @@ std::vector<std::pair<Coord, index_t>> LoadMap::hotspots(
   for (const auto& [pos, count] : load_) {
     all.push_back({Coord{pos.first, pos.second}, count});
   }
-  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    if (a.first.row != b.first.row) return a.first.row < b.first.row;
-    return a.first.col < b.first.col;
-  });
-  if (all.size() > k) all.resize(k);
+  k = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
+                    all.end(), [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      if (a.first.row != b.first.row) {
+                        return a.first.row < b.first.row;
+                      }
+                      return a.first.col < b.first.col;
+                    });
+  all.resize(k);
   return all;
+}
+
+index_t LoadMap::percentile(double p) const {
+  if (load_.empty()) return 0;
+  std::vector<index_t> loads;
+  loads.reserve(load_.size());
+  for (const auto& [pos, count] : load_) loads.push_back(count);
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest load l such that at least ceil(p% * n)
+  // touched processors carry <= l.
+  const auto rank = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(p / 100.0 * static_cast<double>(loads.size()))));
+  auto nth = loads.begin() + static_cast<std::ptrdiff_t>(rank - 1);
+  std::nth_element(loads.begin(), nth, loads.end());
+  return *nth;
 }
 
 double LoadMap::imbalance() const {

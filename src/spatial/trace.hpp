@@ -53,6 +53,11 @@ class TraceSink {
   /// together with on_message.
   virtual void on_send(const MessageEvent& e) { (void)e; }
 
+  /// `n` local compute operations were recorded (Machine::op). Free in
+  /// the model's cost metrics; reported so profilers can attribute local
+  /// work per phase.
+  virtual void on_op(index_t n) { (void)n; }
+
   /// A value with clock `c` became resident at processor `at` without a
   /// message (input placement; Machine::birth).
   virtual void on_birth(Coord at, Clock c) {
@@ -97,9 +102,16 @@ class LoadMap final : public TraceSink {
   /// Largest per-processor load (the congestion bottleneck).
   [[nodiscard]] index_t max_load() const { return max_load_; }
 
-  /// The `k` most-loaded processors, descending.
+  /// The `k` most-loaded processors, descending (ties broken by
+  /// coordinate). O(n log k) via partial sort — cheap for the small k a
+  /// report shows even when millions of processors saw traffic.
   [[nodiscard]] std::vector<std::pair<Coord, index_t>> hotspots(
       std::size_t k) const;
+
+  /// Nearest-rank p-th percentile (p in [0, 100]) of the load over the
+  /// touched processors; 0 when no traffic was recorded. p = 100 is
+  /// max_load(); report summaries use p50/p95/p99.
+  [[nodiscard]] index_t percentile(double p) const;
 
   /// Coefficient of variation of the load over the touched processors —
   /// 0 means perfectly balanced traffic.

@@ -1,9 +1,33 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <iostream>
 #include <string_view>
+#include <vector>
 
 namespace scm::util {
+
+namespace {
+
+/// Levenshtein distance, small-string use only (flag names).
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
 
 Cli::Cli(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -23,25 +47,59 @@ Cli::Cli(int argc, char** argv) {
   }
 }
 
-bool Cli::has(const std::string& name) const { return flags_.contains(name); }
+bool Cli::has(const std::string& name) const {
+  queried_.insert(name);
+  return flags_.contains(name);
+}
 
 std::string Cli::get(const std::string& name,
                      const std::string& fallback) const {
+  queried_.insert(name);
   const auto it = flags_.find(name);
   return it == flags_.end() ? fallback : it->second;
 }
 
 std::int64_t Cli::get_int(const std::string& name,
                           std::int64_t fallback) const {
+  queried_.insert(name);
   const auto it = flags_.find(name);
   return it == flags_.end() ? fallback : std::strtoll(it->second.c_str(),
                                                       nullptr, 10);
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {
+  queried_.insert(name);
   const auto it = flags_.find(name);
   return it == flags_.end() ? fallback
                             : std::strtod(it->second.c_str(), nullptr);
 }
+
+int Cli::warn_unknown(std::ostream& os) const {
+  int unknown = 0;
+  for (const auto& [name, value] : flags_) {
+    if (queried_.contains(name)) continue;
+    if (std::string_view(name).starts_with("benchmark")) continue;
+    ++unknown;
+    os << "warning: unknown flag --" << name;
+    // Suggest the closest flag the binary actually understands, when the
+    // distance is small enough to be a plausible typo.
+    std::string best;
+    std::size_t best_dist = std::string::npos;
+    for (const std::string& known : queried_) {
+      const std::size_t d = edit_distance(name, known);
+      if (d < best_dist || (d == best_dist && known < best)) {
+        best = known;
+        best_dist = d;
+      }
+    }
+    if (!best.empty() && best_dist <= std::max<std::size_t>(2, best.size() / 3)) {
+      os << " (did you mean --" << best << "?)";
+    }
+    os << "\n";
+  }
+  return unknown;
+}
+
+int Cli::warn_unknown() const { return warn_unknown(std::cerr); }
 
 }  // namespace scm::util

@@ -1,0 +1,46 @@
+// Minimal JSON DOM parser.
+//
+// The profiler (spatial/profile.hpp) emits machine-readable artifacts —
+// the versioned run report and the Chrome trace_event file — and the
+// repo's own tests must be able to *read them back* to validate structure
+// (balanced B/E scopes, schema version, field presence) without an
+// external dependency. This is a strict-enough RFC 8259 subset parser for
+// that job: full value grammar, string escapes incl. \uXXXX (BMP),
+// numbers as double. It is a validation tool, not a performance one.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace scm::util::json {
+
+/// A parsed JSON value. Numbers are doubles (the report's counters stay
+/// well under 2^53, where doubles are exact).
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind{Kind::kNull};
+  bool boolean{false};
+  double number{0};
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Member lookup on objects; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+};
+
+/// Parses `text` as one JSON document (surrounding whitespace allowed,
+/// trailing garbage rejected). std::nullopt on any syntax error.
+[[nodiscard]] std::optional<Value> parse(std::string_view text);
+
+}  // namespace scm::util::json

@@ -4,12 +4,14 @@
 #include "spmv/generators.hpp"
 #include "util/cli.hpp"
 #include "util/fit.hpp"
+#include "util/json.hpp"
 #include "util/series.hpp"
 #include "util/table.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 namespace scm {
 namespace {
@@ -180,6 +182,80 @@ TEST(Cli, ParsesFlagsInBothForms) {
   EXPECT_EQ(cli.get_int("missing", 42), 42);
   EXPECT_EQ(cli.get_double("missing", 2.5), 2.5);
   EXPECT_FALSE(cli.has("positional"));
+}
+
+TEST(Cli, WarnUnknownSuggestsTheIntendedFlag) {
+  // `--profle` is a typo of the queried `--profile`; it must be reported
+  // with the suggestion instead of failing silently.
+  const char* argv[] = {"prog", "--profle=out.json", "--n=8"};
+  util::Cli cli(3, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get("profile", ""), "");
+  EXPECT_EQ(cli.get_int("n", 0), 8);
+  std::ostringstream os;
+  EXPECT_EQ(cli.warn_unknown(os), 1);
+  EXPECT_NE(os.str().find("unknown flag --profle"), std::string::npos);
+  EXPECT_NE(os.str().find("did you mean --profile"), std::string::npos);
+}
+
+TEST(Cli, WarnUnknownIsSilentWhenEveryFlagWasQueried) {
+  const char* argv[] = {"prog", "--profile=a.json", "--trace-json=b.json"};
+  util::Cli cli(3, const_cast<char**>(argv));
+  (void)cli.get("profile", "");
+  (void)cli.get("trace-json", "");
+  std::ostringstream os;
+  EXPECT_EQ(cli.warn_unknown(os), 0);
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(Cli, WarnUnknownExemptsBenchmarkFlags) {
+  // google-benchmark parses --benchmark_* itself; the Cli never sees
+  // lookups for them but must not cry wolf.
+  const char* argv[] = {"prog", "--benchmark_filter=BM_Scan",
+                        "--benchmark_min_time=0.01", "--mystery=1"};
+  util::Cli cli(4, const_cast<char**>(argv));
+  std::ostringstream os;
+  EXPECT_EQ(cli.warn_unknown(os), 1);
+  EXPECT_NE(os.str().find("--mystery"), std::string::npos);
+  EXPECT_EQ(os.str().find("benchmark"), std::string::npos);
+}
+
+TEST(Json, ParsesTheValueGrammar) {
+  const auto doc = util::json::parse(
+      R"({"a": [1, 2.5, -3e2], "b": {"nested": true}, "s": "x\ny",)"
+      R"( "null": null, "f": false})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  const util::json::Value* a = doc->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_EQ(a->array[0].number, 1.0);
+  EXPECT_EQ(a->array[1].number, 2.5);
+  EXPECT_EQ(a->array[2].number, -300.0);
+  EXPECT_TRUE(doc->find("b")->find("nested")->boolean);
+  EXPECT_EQ(doc->find("s")->string, "x\ny");
+  EXPECT_EQ(doc->find("null")->kind, util::json::Value::Kind::kNull);
+  EXPECT_FALSE(doc->find("f")->boolean);
+  EXPECT_EQ(doc->find("absent"), nullptr);
+}
+
+TEST(Json, DecodesEscapesIncludingUnicode) {
+  // é is é (2-byte UTF-8), € is € (3-byte UTF-8).
+  const auto doc =
+      util::json::parse("[\"A\\u00e9\\u20ac\", \"\\t\\\"\\\\\"]");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->array[0].string, "A\xc3\xa9\xe2\x82\xac");
+  EXPECT_EQ(doc->array[1].string, "\t\"\\");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_FALSE(util::json::parse("").has_value());
+  EXPECT_FALSE(util::json::parse("{").has_value());
+  EXPECT_FALSE(util::json::parse("[1,]").has_value());
+  EXPECT_FALSE(util::json::parse(R"({"a":1} trailing)").has_value());
+  EXPECT_FALSE(util::json::parse(R"("unterminated)").has_value());
+  EXPECT_FALSE(util::json::parse("{'single':1}").has_value());
+  EXPECT_FALSE(util::json::parse("nul").has_value());
 }
 
 TEST(Generators, ProduceValidMatricesOfTheRightShape) {
