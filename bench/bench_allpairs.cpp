@@ -15,6 +15,7 @@ using namespace scm;
 
 void BM_AllPairs(benchmark::State& state) {
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   const auto v = random_doubles(23, static_cast<size_t>(n));
   for (auto _ : state) {
     Machine m;
@@ -35,6 +36,9 @@ BENCHMARK(BM_AllPairs)
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  const scm::util::Cli cli(argc, argv);
+  scm::bench::configure_sweep(cli);
+  cli.warn_unknown();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

@@ -16,6 +16,7 @@ using namespace scm;
 
 void BM_BroadcastSquare(benchmark::State& state) {
   const index_t side = state.range(0);
+  if (bench::skip_outside_sweep(state, side)) return;
   for (auto _ : state) {
     Machine m;
     benchmark::DoNotOptimize(
@@ -35,6 +36,7 @@ BENCHMARK(BM_BroadcastSquare)
 
 void BM_BinomialBroadcastSquare(benchmark::State& state) {
   const index_t side = state.range(0);
+  if (bench::skip_outside_sweep(state, side)) return;
   for (auto _ : state) {
     Machine m;
     benchmark::DoNotOptimize(
@@ -54,6 +56,7 @@ BENCHMARK(BM_BinomialBroadcastSquare)
 
 void BM_ReduceSquare(benchmark::State& state) {
   const index_t side = state.range(0);
+  if (bench::skip_outside_sweep(state, side)) return;
   for (auto _ : state) {
     Machine m;
     GridArray<long long> a(Rect{0, 0, side, side}, Layout::kRowMajor,
@@ -74,6 +77,7 @@ BENCHMARK(BM_ReduceSquare)
 void BM_BroadcastSkewed(benchmark::State& state) {
   // h = 16 w subgrids: the h log h term of Lemma IV.1 becomes visible.
   const index_t w = state.range(0);
+  if (bench::skip_outside_sweep(state, w)) return;
   const index_t h = 16 * w;
   for (auto _ : state) {
     Machine m;
@@ -96,6 +100,7 @@ BENCHMARK(BM_BroadcastSkewed)
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   scm::util::Cli cli(argc, argv);
+  scm::bench::configure_sweep(cli);
   scm::util::ProfileSession profile(cli);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -22,11 +22,15 @@
 #pragma once
 
 #include "spatial/metrics.hpp"
+#include "util/cli.hpp"
 #include "util/profile_session.hpp"
 #include "util/series.hpp"
+#include "util/table.hpp"
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <limits>
 #include <string>
 
 namespace scm::bench {
@@ -38,6 +42,49 @@ using namespace scm::util;  // NOLINT(google-build-using-namespace)
 /// The process-wide measurement store (bench-side alias of the
 /// unit-tested util::SeriesRegistry).
 using Registry = util::SeriesRegistry;
+
+/// Problem-size window from the standard --min-n / --max-n sweep flags.
+/// Lets CI smoke runs (and impatient humans) cap a sweep's sizes without
+/// editing the hardcoded Arg lists. Defaults to unbounded.
+struct SweepRange {
+  std::int64_t min_n{std::numeric_limits<std::int64_t>::min()};
+  std::int64_t max_n{std::numeric_limits<std::int64_t>::max()};
+
+  [[nodiscard]] bool contains(std::int64_t n) const {
+    return n >= min_n && n <= max_n;
+  }
+};
+
+/// The process-wide sweep window read by skip_outside_sweep.
+inline SweepRange& sweep_range() {
+  static SweepRange range;
+  return range;
+}
+
+/// Standard per-main setup: fully buffer stdout (util::buffer_stdio) and
+/// read --min-n / --max-n into the sweep window. Call right after
+/// constructing the Cli (benchmark cases run later, from
+/// RunSpecifiedBenchmarks).
+inline void configure_sweep(const util::Cli& cli) {
+  util::buffer_stdio();
+  sweep_range().min_n = cli.get_int("min-n", sweep_range().min_n);
+  sweep_range().max_n = cli.get_int("max-n", sweep_range().max_n);
+}
+
+/// True (after burning the mandatory iteration loop and labeling the row
+/// "skipped") when the sweep point `n` falls outside --min-n / --max-n.
+/// Call first thing in a sweeping benchmark body and return immediately
+/// on true: the skipped size then never reaches report(), so series fits
+/// see only the sizes that actually ran. (google-benchmark 1.7 has no
+/// SkipWithMessage, and SkipWithError would fail the run — an empty
+/// labeled iteration is the supported way to no-op a registered case.)
+inline bool skip_outside_sweep(benchmark::State& state, std::int64_t n) {
+  if (sweep_range().contains(n)) return false;
+  state.SetLabel("skipped (outside --min-n/--max-n)");
+  for (auto _ : state) {
+  }
+  return true;
+}
 
 /// Publishes a measurement both as google-benchmark counters and into the
 /// registry for the post-run analysis table.

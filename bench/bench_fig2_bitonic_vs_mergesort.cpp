@@ -21,6 +21,7 @@ using namespace scm;
 
 void BM_Bitonic(benchmark::State& state) {
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   const auto v = random_doubles(17, static_cast<size_t>(n));
   for (auto _ : state) {
     Machine m;
@@ -45,6 +46,7 @@ void BM_BitonicSkewed(benchmark::State& state) {
   // Theta(h^2 w + w^2 h log h) — the shape-dependence of the network's
   // cost on the grid mapping.
   const index_t w = state.range(0);
+  if (bench::skip_outside_sweep(state, w)) return;
   const index_t h = 16 * w;
   const index_t n = h * w;
   const auto v = random_doubles(19, static_cast<size_t>(n));
@@ -71,6 +73,7 @@ void BM_BitonicMerge(benchmark::State& state) {
   // Theta(n^{3/2}) energy (h^2 w + w^2 h with h = w = sqrt n) and
   // Theta(log n) depth — Fig. 2's 2-D layout.
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   auto v = random_doubles(18, static_cast<size_t>(n));
   std::sort(v.begin(), v.begin() + n / 2);
   std::sort(v.begin() + n / 2, v.end(), std::greater<double>{});
@@ -94,6 +97,7 @@ BENCHMARK(BM_BitonicMerge)
 
 void BM_Mergesort(benchmark::State& state) {
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   const auto v = random_doubles(17, static_cast<size_t>(n));
   for (auto _ : state) {
     Machine m;
@@ -116,6 +120,7 @@ BENCHMARK(BM_Mergesort)
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   scm::util::Cli cli(argc, argv);
+  scm::bench::configure_sweep(cli);
   scm::util::ProfileSession profile(cli);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

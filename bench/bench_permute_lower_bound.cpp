@@ -19,6 +19,7 @@ using namespace scm;
 
 void BM_ReversalPermutation(benchmark::State& state) {
   const index_t side = state.range(0);
+  if (bench::skip_outside_sweep(state, side)) return;
   const index_t n = side * side;
   for (auto _ : state) {
     Machine m;
@@ -38,6 +39,7 @@ BENCHMARK(BM_ReversalPermutation)
 
 void BM_RandomPermutation(benchmark::State& state) {
   const index_t side = state.range(0);
+  if (bench::skip_outside_sweep(state, side)) return;
   const index_t n = side * side;
   std::vector<index_t> perm(static_cast<size_t>(n));
   std::iota(perm.begin(), perm.end(), index_t{0});
@@ -59,6 +61,7 @@ BENCHMARK(BM_RandomPermutation)
 
 void BM_SortReversedInput(benchmark::State& state) {
   const index_t side = state.range(0);
+  if (bench::skip_outside_sweep(state, side)) return;
   const index_t n = side * side;
   std::vector<double> reversed;
   for (index_t i = 0; i < n; ++i) {
@@ -84,6 +87,9 @@ BENCHMARK(BM_SortReversedInput)
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  const scm::util::Cli cli(argc, argv);
+  scm::bench::configure_sweep(cli);
+  cli.warn_unknown();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

@@ -19,6 +19,7 @@ pram::Word add(pram::Word a, pram::Word b) { return a + b; }
 
 void BM_ErewTreeReduce(benchmark::State& state) {
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   const auto v = random_doubles(51, static_cast<size_t>(n));
   pram::TreeReduceProgram prog(n, add);
   for (auto _ : state) {
@@ -38,6 +39,7 @@ BENCHMARK(BM_ErewTreeReduce)
 
 void BM_ErewScan(benchmark::State& state) {
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   const auto v = random_doubles(52, static_cast<size_t>(n));
   pram::HillisSteeleScanProgram prog(n);
   for (auto _ : state) {
@@ -57,6 +59,7 @@ BENCHMARK(BM_ErewScan)
 
 void BM_CrcwBroadcastRead(benchmark::State& state) {
   const index_t p = state.range(0);
+  if (bench::skip_outside_sweep(state, p)) return;
   pram::BroadcastReadProgram prog(p);
   std::vector<pram::Word> mem(static_cast<size_t>(p + 1), 1.0);
   for (auto _ : state) {
@@ -75,6 +78,7 @@ BENCHMARK(BM_CrcwBroadcastRead)
 
 void BM_CrcwScan(benchmark::State& state) {
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   const auto v = random_doubles(53, static_cast<size_t>(n));
   pram::HillisSteeleScanProgram prog(n);
   for (auto _ : state) {
@@ -95,6 +99,9 @@ BENCHMARK(BM_CrcwScan)
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  const scm::util::Cli cli(argc, argv);
+  scm::bench::configure_sweep(cli);
+  cli.warn_unknown();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

@@ -37,6 +37,7 @@ Input make_input(index_t half) {
 
 void BM_RankTwoSorted(benchmark::State& state) {
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   const Input in = make_input(n / 2);
   for (auto _ : state) {
     Machine m;
@@ -78,6 +79,9 @@ BENCHMARK(BM_RankTwoSortedKSweep)
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  const scm::util::Cli cli(argc, argv);
+  scm::bench::configure_sweep(cli);
+  cli.warn_unknown();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

@@ -21,6 +21,7 @@ std::vector<long long> input(index_t n) {
 
 void BM_ZOrderScan(benchmark::State& state) {
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   const auto v = input(n);
   for (auto _ : state) {
     Machine m;
@@ -39,6 +40,7 @@ BENCHMARK(BM_ZOrderScan)
 
 void BM_TreeScan1D(benchmark::State& state) {
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   const auto v = input(n);
   for (auto _ : state) {
     Machine m;
@@ -61,6 +63,7 @@ void BM_TreeScanZOrder(benchmark::State& state) {
   // Ablation: the same binary tree on a Z-order layout — linear energy
   // again, isolating the layout as the source of the energy win.
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   const auto v = input(n);
   for (auto _ : state) {
     Machine m;
@@ -81,6 +84,7 @@ BENCHMARK(BM_TreeScanZOrder)
 
 void BM_SequentialScan(benchmark::State& state) {
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   const auto v = input(n);
   for (auto _ : state) {
     Machine m;
@@ -103,6 +107,7 @@ BENCHMARK(BM_SequentialScan)
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   scm::util::Cli cli(argc, argv);
+  scm::bench::configure_sweep(cli);
   scm::util::ProfileSession profile(cli);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

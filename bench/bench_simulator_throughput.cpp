@@ -25,6 +25,10 @@
 // after the interned-PhaseId attribution engine); CI runs this bench with
 // --benchmark_min_time=0.01 as a smoke test so regressions on the
 // attribution path show up per PR.
+#include "bench_common.hpp"
+
+#include "spatial/bulk_ab.hpp"
+#include "spatial/grid_array.hpp"
 #include "spatial/machine.hpp"
 #include "spatial/profile.hpp"
 
@@ -165,6 +169,111 @@ void BM_SinglePhaseWitness(benchmark::State& state) {
 }
 BENCHMARK(BM_SinglePhaseWitness);
 
+// ---- Bulk-charging shapes -------------------------------------------------
+//
+// The same alternating unit-hop event stream, charged through one
+// Machine::send_bulk + op_bulk call per batch instead of 4096 send/op
+// pairs. The BM_Bulk* / scalar-shape ratios are the bulk engine's
+// amortization win; acceptance (BENCH_simulator.json): >= 3x events/sec
+// on the bulk shapes versus their scalar counterparts.
+
+void run_bulk_event_batch(Machine& m, std::vector<MessageEvent>& batch) {
+  batch.resize(kEventsPerBatch);
+  for (int i = 0; i < kEventsPerBatch; ++i) {
+    batch[static_cast<std::size_t>(i)] =
+        MessageEvent{{0, i & 1}, {0, (i & 1) ^ 1}, 0, Clock{}, Clock{}};
+  }
+  m.send_bulk(batch);
+  m.op_bulk(kEventsPerBatch);
+}
+
+void measure_bulk(benchmark::State& state, Machine& m) {
+  std::vector<MessageEvent> batch;
+  for (auto _ : state) {
+    run_bulk_event_batch(m, batch);
+    benchmark::DoNotOptimize(m.metrics().energy);
+  }
+  state.SetItemsProcessed(state.iterations() * kEventsPerBatch);
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kEventsPerBatch),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_BulkFlat(benchmark::State& state) {
+  Machine m;
+  measure_bulk(state, m);
+}
+BENCHMARK(BM_BulkFlat);
+
+void BM_BulkSinglePhase(benchmark::State& state) {
+  Machine m;
+  m.begin_phase("leaf");
+  measure_bulk(state, m);
+  m.end_phase();
+}
+BENCHMARK(BM_BulkSinglePhase);
+
+void BM_BulkDeepRecursive(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Machine m;
+  for (int d = 0; d < depth; ++d) {
+    m.begin_phase("level" + std::to_string(d));
+  }
+  measure_bulk(state, m);
+  for (int d = 0; d < depth; ++d) m.end_phase();
+}
+BENCHMARK(BM_BulkDeepRecursive)->Arg(16)->Arg(64);
+
+void BM_BulkSinglePhaseProfiled(benchmark::State& state) {
+  Machine m;
+  Profiler profiler;
+  m.set_trace(&profiler);
+  m.begin_phase("leaf");
+  measure_bulk(state, m);
+  m.end_phase();
+  m.set_trace(nullptr);
+}
+BENCHMARK(BM_BulkSinglePhaseProfiled);
+
+// End-to-end routing through the whole stack (GridArray coordinate cache,
+// send_bulk, per-phase attribution): one Z-order -> row-major
+// route_permutation of a 64x64 grid per iteration, under the scalar
+// reference path and the bulk fast path. Identical algorithm code — only
+// the process-wide charging mode differs.
+constexpr index_t kRoutingSide = 64;
+
+void run_routing(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(kRoutingSide * kRoutingSide);
+  std::vector<int> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<int>(i);
+  const Rect region = square_at({0, 0}, kRoutingSide);
+  for (auto _ : state) {
+    Machine m;
+    const auto src =
+        GridArray<int>::from_values(region, Layout::kZOrder, values);
+    benchmark::DoNotOptimize(
+        route_permutation(m, src, region, Layout::kRowMajor));
+    benchmark::DoNotOptimize(m.metrics().energy);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_RoutingScalar(benchmark::State& state) {
+  ScopedBulkCharging mode(false);
+  run_routing(state);
+}
+BENCHMARK(BM_RoutingScalar);
+
+void BM_RoutingBulk(benchmark::State& state) {
+  ScopedBulkCharging mode(true);
+  run_routing(state);
+}
+BENCHMARK(BM_RoutingBulk);
+
 // Phase-transition throughput: scope enter/exit pairs per second. The
 // interned engine moves the dedup work here (per transition), so this
 // guards the other side of the trade.
@@ -185,4 +294,12 @@ BENCHMARK(BM_PhaseTransitions);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const scm::util::Cli cli(argc, argv);
+  scm::bench::configure_sweep(cli);
+  cli.warn_unknown();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

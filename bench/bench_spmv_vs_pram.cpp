@@ -18,6 +18,7 @@ using namespace scm;
 
 void BM_SpmvDirect(benchmark::State& state) {
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   const CooMatrix a = random_uniform_matrix(n, 2 * n, 61);
   const auto x = random_doubles(62, static_cast<size_t>(n));
   for (auto _ : state) {
@@ -37,6 +38,7 @@ BENCHMARK(BM_SpmvDirect)
 
 void BM_SpmvPram(benchmark::State& state) {
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   const CooMatrix a = random_uniform_matrix(n, 2 * n, 61);
   const auto x = random_doubles(62, static_cast<size_t>(n));
   for (auto _ : state) {
@@ -58,6 +60,9 @@ BENCHMARK(BM_SpmvPram)
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  const scm::util::Cli cli(argc, argv);
+  scm::bench::configure_sweep(cli);
+  cli.warn_unknown();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

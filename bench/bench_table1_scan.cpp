@@ -16,6 +16,7 @@ using namespace scm;
 
 void BM_Scan(benchmark::State& state) {
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   const auto vals = random_ints(1, static_cast<size_t>(n), -100, 100);
   const std::vector<long long> v(vals.begin(), vals.end());
   for (auto _ : state) {
@@ -37,6 +38,7 @@ BENCHMARK(BM_Scan)
 
 void BM_SegmentedScan(benchmark::State& state) {
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   const auto vals = random_ints(2, static_cast<size_t>(n), -100, 100);
   std::vector<Seg<long long>> sv;
   std::mt19937_64 rng(7);
@@ -63,6 +65,7 @@ BENCHMARK(BM_SegmentedScan)
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   scm::util::Cli cli(argc, argv);
+  scm::bench::configure_sweep(cli);
   scm::util::ProfileSession profile(cli);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -21,6 +21,7 @@ index_t g_runs = 0;
 
 void BM_SelectMedian(benchmark::State& state) {
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   const auto v = random_doubles(5, static_cast<size_t>(n));
   for (auto _ : state) {
     Machine m;
@@ -75,6 +76,7 @@ BENCHMARK(BM_SelectRankSweep)
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   scm::util::Cli cli(argc, argv);
+  scm::bench::configure_sweep(cli);
   scm::util::ProfileSession profile(cli);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

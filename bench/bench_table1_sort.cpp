@@ -33,6 +33,7 @@ std::vector<double> make_input(index_t n, int distribution) {
 
 void BM_Mergesort2D(benchmark::State& state) {
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   const auto v = make_input(n, 0);
   for (auto _ : state) {
     Machine m;
@@ -78,6 +79,7 @@ BENCHMARK(BM_Mergesort2D_Distribution)
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   scm::util::Cli cli(argc, argv);
+  scm::bench::configure_sweep(cli);
   scm::util::ProfileSession profile(cli);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -17,6 +17,7 @@ using namespace scm;
 
 void BM_SpmvUniform(benchmark::State& state) {
   const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
   const CooMatrix a = random_uniform_matrix(n, 2 * n, 31);
   const auto x = random_doubles(32, static_cast<size_t>(n));
   for (auto _ : state) {
@@ -75,6 +76,7 @@ BENCHMARK(BM_SpmvFamily)
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   scm::util::Cli cli(argc, argv);
+  scm::bench::configure_sweep(cli);
   scm::util::ProfileSession profile(cli);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

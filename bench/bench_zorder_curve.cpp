@@ -15,6 +15,7 @@ using namespace scm;
 
 void BM_ZOrderWalk(benchmark::State& state) {
   const index_t side = state.range(0);
+  if (bench::skip_outside_sweep(state, side)) return;
   for (auto _ : state) {
     Machine m;
     const Rect r{0, 0, side, side};
@@ -42,6 +43,7 @@ void BM_RowMajorWalk(benchmark::State& state) {
   // constant, but without the recursive-block locality the algorithms
   // exploit).
   const index_t side = state.range(0);
+  if (bench::skip_outside_sweep(state, side)) return;
   for (auto _ : state) {
     Machine m;
     const Rect r{0, 0, side, side};
@@ -67,6 +69,7 @@ BENCHMARK(BM_RowMajorWalk)
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   scm::util::Cli cli(argc, argv);
+  scm::bench::configure_sweep(cli);
   scm::util::ProfileSession profile(cli);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

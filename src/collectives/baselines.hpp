@@ -21,6 +21,8 @@
 
 #include <cassert>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 namespace scm {
@@ -83,15 +85,20 @@ template <class T>
   std::vector<bool> has(static_cast<size_t>(n), false);
   has[0] = true;
   index_t span = ceil_pow2(n);
+  std::vector<std::pair<index_t, index_t>> moves;
   for (span /= 2; span >= 1; span /= 2) {
+    // A round's receivers (index % 2span == span) never send within the
+    // round, so all of its forwards are independent: one bulk batch.
+    moves.clear();
     for (index_t i = 0; i + span < n; ++i) {
       if (!has[static_cast<size_t>(i)] || has[static_cast<size_t>(i + span)]) {
         continue;
       }
       if (i % (span * 2) != 0) continue;
-      send_element(m, out, i, out, i + span);
-      has[static_cast<size_t>(i + span)] = true;
+      moves.push_back({i, i + span});
     }
+    send_elements<T>(m, out, out, moves);
+    for (const auto& [from, to] : moves) has[static_cast<size_t>(to)] = true;
   }
   return out;
 }
@@ -107,17 +114,30 @@ template <class T, class Op>
   const index_t n = a.size();
   std::vector<Cell<T>> acc(static_cast<size_t>(n));
   for (index_t i = 0; i < n; ++i) acc[static_cast<size_t>(i)] = a[i];
+  const std::span<const Coord> at = a.coords();
+  std::vector<MessageEvent> batch;
   for (index_t span = 1; span < n; span *= 2) {
+    // A round's senders (index % 2span == span) and receivers (== 0) are
+    // disjoint and every payload is a pre-round accumulator: one batch.
+    batch.clear();
     for (index_t i = 0; i + span < n; i += span * 2) {
+      batch.push_back(MessageEvent{at[static_cast<size_t>(i + span)],
+                                   at[static_cast<size_t>(i)], 0,
+                                   acc[static_cast<size_t>(i + span)].clock,
+                                   Clock{}});
+    }
+    m.send_bulk(batch);
+    Clock round_max{};
+    size_t k = 0;
+    for (index_t i = 0; i + span < n; i += span * 2, ++k) {
       const auto lo = static_cast<size_t>(i);
       const auto hi = static_cast<size_t>(i + span);
-      const Cell<T> arrived{
-          acc[hi].value, m.send(a.coord(i + span), a.coord(i), acc[hi].clock)};
-      acc[lo] = Cell<T>{op(acc[lo].value, arrived.value),
-                        Clock::join(acc[lo].clock, arrived.clock)};
-      m.op();
-      m.observe(acc[lo].clock);
+      acc[lo] = Cell<T>{op(acc[lo].value, acc[hi].value),
+                        Clock::join(acc[lo].clock, batch[k].arrival)};
+      round_max = Clock::join(round_max, acc[lo].clock);
     }
+    m.op_bulk(static_cast<index_t>(k));
+    m.observe(round_max);
   }
   return acc[0];
 }

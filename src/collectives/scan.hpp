@@ -30,7 +30,9 @@
 
 #include <cassert>
 #include <optional>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 namespace scm {
 
@@ -216,8 +218,20 @@ template <class T, class Op>
   GridArray<T> out(a.region(), a.layout(), a.size());
   if (a.size() == 0) return out;
   out[0] = Cell<T>{identity, Clock{}};
+  // The shifts are independent (each reads only the inclusive result), so
+  // the whole curve walk is one bulk batch over the cached coordinates.
+  const std::span<const Coord> at = inclusive.coords();
+  std::vector<MessageEvent> batch(static_cast<size_t>(a.size() - 1));
   for (index_t i = 1; i < a.size(); ++i) {
-    send_element(m, inclusive, i - 1, out, i);
+    batch[static_cast<size_t>(i - 1)] =
+        MessageEvent{at[static_cast<size_t>(i - 1)],
+                     at[static_cast<size_t>(i)], 0, inclusive[i - 1].clock,
+                     Clock{}};
+  }
+  m.send_bulk(batch);
+  for (index_t i = 1; i < a.size(); ++i) {
+    out[i] = Cell<T>{inclusive[i - 1].value,
+                     batch[static_cast<size_t>(i - 1)].arrival};
   }
   return out;
 }

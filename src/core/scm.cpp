@@ -1,6 +1,10 @@
 #include "core/scm.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace scm {
 
@@ -9,8 +13,16 @@ const char* version() { return "1.0.0"; }
 std::string cost_report(const Machine& m) {
   std::ostringstream os;
   os << "total: " << m.metrics() << "\n";
-  for (const auto& [name, metrics] : m.phases()) {
-    os << "  " << name << ": " << metrics << "\n";
+  // Iterate the touched ids and sort by name instead of materializing the
+  // string-keyed phases() map; the output stays byte-identical.
+  const PhaseRegistry& registry = PhaseRegistry::instance();
+  std::vector<std::pair<std::string, PhaseId>> order;
+  for (const PhaseId id : m.touched_phases()) {
+    order.emplace_back(registry.name(id), id);
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [name, id] : order) {
+    os << "  " << name << ": " << m.phase(id) << "\n";
   }
   return os.str();
 }

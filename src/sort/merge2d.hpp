@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <span>
 #include <vector>
 
 namespace scm {
@@ -83,13 +84,21 @@ GridArray<T> merge_base(Machine& m, const std::vector<const GridArray<T>*>& in,
   };
   std::vector<Gathered> all;
   all.reserve(static_cast<size_t>(n));
-  Clock ready{};
+  std::vector<MessageEvent> batch;
+  batch.reserve(static_cast<size_t>(n));
   for (const auto* arr : in) {
+    const std::span<const Coord> at = arr->coords();
     for (index_t i = 0; i < arr->size(); ++i) {
-      const Clock arrival = m.send(arr->coord(i), work, (*arr)[i].clock);
-      all.push_back(Gathered{(*arr)[i].value, arrival});
-      ready = Clock::join(ready, arrival);
+      batch.push_back(MessageEvent{at[static_cast<size_t>(i)], work, 0,
+                                   (*arr)[i].clock, Clock{}});
+      all.push_back(Gathered{(*arr)[i].value, Clock{}});
     }
+  }
+  m.send_bulk(batch);
+  Clock ready{};
+  for (size_t k = 0; k < batch.size(); ++k) {
+    all[k].clock = batch[k].arrival;
+    ready = Clock::join(ready, batch[k].arrival);
   }
   std::stable_sort(all.begin(), all.end(),
                    [&](const Gathered& x, const Gathered& y) {
@@ -98,9 +107,16 @@ GridArray<T> merge_base(Machine& m, const std::vector<const GridArray<T>*>& in,
   m.op(n);
   // Every output position depends on the full gathered set (the local sort
   // decides all placements), so scattered elements carry the joined clock.
+  const std::span<const Coord> dst = out.coords();
+  batch.assign(static_cast<size_t>(n), MessageEvent{});
+  for (index_t i = 0; i < n; ++i) {
+    batch[static_cast<size_t>(i)] = MessageEvent{
+        work, dst[static_cast<size_t>(i)], 0, ready, Clock{}};
+  }
+  m.send_bulk(batch);
   for (index_t i = 0; i < n; ++i) {
     out[i] = Cell<T>{all[static_cast<size_t>(i)].value,
-                     m.send(work, out.coord(i), ready)};
+                     batch[static_cast<size_t>(i)].arrival};
   }
   return out;
 }
@@ -112,16 +128,25 @@ template <class T>
 void route_split(Machine& m, const GridArray<T>& src, index_t first,
                  index_t count, GridArray<T>& out, index_t dst_i,
                  const GridArray<char>& plan, const Rect& plan_rect) {
+  if (count == 0) return;
+  const std::span<const Coord> src_at = src.coords();
+  const std::span<const Coord> out_at = out.coords();
+  std::vector<MessageEvent> batch(static_cast<size_t>(count));
   for (index_t i = 0; i < count; ++i) {
-    const Coord from = src.coord(first + i);
+    const Coord from = src_at[static_cast<size_t>(first + i)];
     Clock clock = src[first + i].clock;
     if (plan_rect.contains(from)) {
       const index_t pi = (from.row - plan_rect.row0) * plan_rect.cols +
                          (from.col - plan_rect.col0);
       clock = Clock::join(clock, plan[pi].clock);
     }
-    out[dst_i + i] =
-        Cell<T>{src[first + i].value, m.send(from, out.coord(dst_i + i), clock)};
+    batch[static_cast<size_t>(i)] = MessageEvent{
+        from, out_at[static_cast<size_t>(dst_i + i)], 0, clock, Clock{}};
+  }
+  m.send_bulk(batch);
+  for (index_t i = 0; i < count; ++i) {
+    out[dst_i + i] = Cell<T>{src[first + i].value,
+                             batch[static_cast<size_t>(i)].arrival};
   }
 }
 
@@ -160,10 +185,22 @@ template <class T, class Less>
           m, std::vector<const GridArray<T>*>{&a, &b}, region, dst_offset,
           less);
     }
-    // A sorted one-sided input only needs repositioning into the range.
+    // A sorted one-sided input only needs repositioning into the range,
+    // charged as one bulk batch over the cached coordinate maps.
     const GridArray<T>& src = a.empty() ? b : a;
     GridArray<T> out(region, Layout::kZOrder, n, dst_offset);
-    for (index_t i = 0; i < n; ++i) send_element(m, src, i, out, i);
+    const std::span<const Coord> from = src.coords();
+    const std::span<const Coord> to = out.coords();
+    std::vector<MessageEvent> batch(static_cast<size_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+      batch[static_cast<size_t>(i)] =
+          MessageEvent{from[static_cast<size_t>(i)],
+                       to[static_cast<size_t>(i)], 0, src[i].clock, Clock{}};
+    }
+    m.send_bulk(batch);
+    for (index_t i = 0; i < n; ++i) {
+      out[i] = Cell<T>{src[i].value, batch[static_cast<size_t>(i)].arrival};
+    }
     return out;
   }
 

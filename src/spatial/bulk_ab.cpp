@@ -1,0 +1,83 @@
+#include "spatial/bulk_ab.hpp"
+
+#include "spatial/validate.hpp"
+
+#include <sstream>
+
+namespace scm {
+
+namespace {
+
+AbRun run_one(const std::function<void(Machine&)>& algorithm, bool bulk) {
+  ScopedBulkCharging mode(bulk);
+  ConformanceChecker::Config config;
+  config.strict = false;  // mismatches must surface as AbResult, not abort
+  ConformanceChecker checker(config);
+  Machine m;
+  m.set_trace(&checker);
+  algorithm(m);
+  checker.verify(m);
+  AbRun run;
+  run.totals = m.metrics();
+  run.phases = m.phases();
+  run.conformance_ok = checker.report().ok();
+  if (!run.conformance_ok) run.conformance_report = checker.report().str();
+  return run;
+}
+
+void append_metrics(std::ostringstream& os, const Metrics& m) {
+  os << "energy=" << m.energy << " messages=" << m.messages
+     << " local_ops=" << m.local_ops << " depth=" << m.depth()
+     << " distance=" << m.distance();
+}
+
+void append_metrics_diff(std::ostringstream& os, const std::string& what,
+                         const Metrics& scalar, const Metrics& bulk) {
+  os << "  " << what << ":\n    scalar: ";
+  append_metrics(os, scalar);
+  os << "\n    bulk:   ";
+  append_metrics(os, bulk);
+  os << '\n';
+}
+
+}  // namespace
+
+std::string AbResult::diff() const {
+  if (ok()) return {};
+  std::ostringstream os;
+  if (!totals_equal) append_metrics_diff(os, "totals", scalar.totals, bulk.totals);
+  if (!phases_equal) {
+    for (const auto& [name, metrics] : scalar.phases) {
+      const auto it = bulk.phases.find(name);
+      if (it == bulk.phases.end()) {
+        os << "  phase \"" << name << "\": present in scalar only\n";
+      } else if (!(it->second == metrics)) {
+        append_metrics_diff(os, "phase \"" + name + "\"", metrics,
+                            it->second);
+      }
+    }
+    for (const auto& [name, metrics] : bulk.phases) {
+      if (!scalar.phases.contains(name)) {
+        os << "  phase \"" << name << "\": present in bulk only\n";
+      }
+    }
+  }
+  if (!scalar.conformance_ok) {
+    os << "  scalar run not conformant:\n" << scalar.conformance_report;
+  }
+  if (!bulk.conformance_ok) {
+    os << "  bulk run not conformant:\n" << bulk.conformance_report;
+  }
+  return os.str();
+}
+
+AbResult run_ab(const std::function<void(Machine&)>& algorithm) {
+  AbResult result;
+  result.scalar = run_one(algorithm, /*bulk=*/false);
+  result.bulk = run_one(algorithm, /*bulk=*/true);
+  result.totals_equal = result.scalar.totals == result.bulk.totals;
+  result.phases_equal = result.scalar.phases == result.bulk.phases;
+  return result;
+}
+
+}  // namespace scm

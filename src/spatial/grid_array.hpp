@@ -16,6 +16,7 @@
 #include "spatial/zorder.hpp"
 
 #include <cassert>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -88,14 +89,28 @@ class GridArray {
   /// Layout position of element 0 within the region's traversal order.
   [[nodiscard]] index_t offset() const { return offset_; }
 
-  /// Coordinate of the processor holding element i.
+  /// Coordinate of the processor holding element i: an array load once
+  /// coords() has built the cache, otherwise computed on the fly.
   [[nodiscard]] Coord coord(index_t i) const {
     assert(i >= 0 && i < size());
-    const index_t pos = offset_ + i;
-    if (layout_ == Layout::kRowMajor) {
-      return region_.at(pos / region_.cols, pos % region_.cols);
+    if (!coords_.empty()) return coords_[static_cast<size_t>(i)];
+    return compute_coord(offset_ + i);
+  }
+
+  /// Every element's coordinate, lazily computed once and cached for the
+  /// array's lifetime (the placement is immutable after construction).
+  /// This is a host-side simulator cache — 16 bytes per element on the
+  /// simulating machine, not storage charged to the model's O(1)-memory
+  /// processors. Bulk routines force it so their inner loops do array
+  /// loads instead of per-element Morton decodes.
+  [[nodiscard]] std::span<const Coord> coords() const {
+    if (coords_.empty() && !cells_.empty()) {
+      coords_.reserve(cells_.size());
+      for (index_t i = 0; i < size(); ++i) {
+        coords_.push_back(compute_coord(offset_ + i));
+      }
     }
-    return zorder_coord(region_, pos);
+    return coords_;
   }
 
   [[nodiscard]] Cell<T>& operator[](index_t i) {
@@ -127,23 +142,36 @@ class GridArray {
   /// messages; announcing them lets residency accounting (the conformance
   /// checker) see the placement explicitly.
   void announce(Machine& m) const {
-    for (index_t i = 0; i < size(); ++i) {
-      m.birth(coord(i), cells_[static_cast<size_t>(i)].clock);
+    if (empty()) return;
+    const std::span<const Coord> at = coords();
+    std::vector<BirthEvent> batch(cells_.size());
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      batch[i] = BirthEvent{at[i], cells_[i].clock};
     }
+    m.birth_bulk(batch);
   }
 
   /// Announces every element as retired (Machine::death): the array's
   /// processors no longer hold its values. Sending from a retired cell is
   /// a conformance violation until a new value arrives there.
   void retire(Machine& m) const {
-    for (index_t i = 0; i < size(); ++i) m.death(coord(i));
+    if (empty()) return;
+    m.death_bulk(coords());
   }
 
  private:
+  Coord compute_coord(index_t pos) const {
+    if (layout_ == Layout::kRowMajor) {
+      return region_.at(pos / region_.cols, pos % region_.cols);
+    }
+    return zorder_coord(region_, pos);
+  }
+
   Rect region_;
   Layout layout_;
   index_t offset_{0};
   std::vector<Cell<T>> cells_;
+  mutable std::vector<Coord> coords_;
 };
 
 /// Sends element `i` of `src` to slot `j` of `dst`, charging the message
@@ -155,9 +183,32 @@ void send_element(Machine& m, const GridArray<T>& src, index_t i,
   dst[j] = Cell<T>{from.value, m.send(src.coord(i), dst.coord(j), from.clock)};
 }
 
+/// Bulk form of send_element: performs every (src index, dst index) move
+/// of `moves` as one Machine::send_bulk batch. All source cells are read
+/// before any destination cell is written, so the moves behave as a
+/// parallel gather-then-scatter even when src and dst alias.
+template <class T>
+void send_elements(Machine& m, const GridArray<T>& src, GridArray<T>& dst,
+                   std::span<const std::pair<index_t, index_t>> moves) {
+  if (moves.empty()) return;
+  std::vector<MessageEvent> batch(moves.size());
+  std::vector<T> values(moves.size());
+  for (size_t k = 0; k < moves.size(); ++k) {
+    const auto [i, j] = moves[k];
+    const Cell<T>& cell = src[i];
+    batch[k] = MessageEvent{src.coord(i), dst.coord(j), 0, cell.clock, {}};
+    values[k] = cell.value;
+  }
+  m.send_bulk(batch);
+  for (size_t k = 0; k < moves.size(); ++k) {
+    dst[moves[k].second] = Cell<T>{std::move(values[k]), batch[k].arrival};
+  }
+}
+
 /// Routes every element of `src` directly to its position in a fresh array
 /// with the given region/layout (a direct permutation: one message per
-/// element, as used for the Z-order -> row-major step of the 2-D merge).
+/// element, as used for the Z-order -> row-major step of the 2-D merge),
+/// charged as a single send_bulk batch over the cached coordinate maps.
 /// `perm[i]` gives the destination index of source element i; pass an
 /// identity-sized empty vector for the identity routing.
 template <class T>
@@ -165,9 +216,21 @@ GridArray<T> route_permutation(Machine& m, const GridArray<T>& src,
                                Rect dst_region, Layout dst_layout,
                                const std::vector<index_t>& perm = {}) {
   GridArray<T> dst(dst_region, dst_layout, src.size());
+  if (src.empty()) return dst;
+  assert(perm.empty() || perm.size() == static_cast<size_t>(src.size()));
+  const std::span<const Coord> from = src.coords();
+  const std::span<const Coord> to = dst.coords();
+  std::vector<MessageEvent> batch(static_cast<size_t>(src.size()));
   for (index_t i = 0; i < src.size(); ++i) {
     const index_t j = perm.empty() ? i : perm[static_cast<size_t>(i)];
-    send_element(m, src, i, dst, j);
+    batch[static_cast<size_t>(i)] =
+        MessageEvent{from[static_cast<size_t>(i)], to[static_cast<size_t>(j)],
+                     0, src[i].clock, Clock{}};
+  }
+  m.send_bulk(batch);
+  for (index_t i = 0; i < src.size(); ++i) {
+    const index_t j = perm.empty() ? i : perm[static_cast<size_t>(i)];
+    dst[j] = Cell<T>{src[i].value, batch[static_cast<size_t>(i)].arrival};
   }
   return dst;
 }

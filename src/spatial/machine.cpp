@@ -8,6 +8,16 @@ namespace scm {
 
 TraceSink* Machine::global_trace_ = nullptr;
 
+namespace {
+// Process-wide A/B switch for the equivalence harness; `true` is the
+// production fast path.
+bool g_bulk_charging = true;
+}  // namespace
+
+void Machine::set_bulk_charging(bool enabled) { g_bulk_charging = enabled; }
+
+bool Machine::bulk_charging() { return g_bulk_charging; }
+
 void Machine::set_global_trace(TraceSink* sink) { global_trace_ = sink; }
 
 TraceSink* Machine::global_trace() { return global_trace_; }
@@ -29,11 +39,65 @@ Clock Machine::send(Coord from, Coord to, Clock payload) {
   return arrival;
 }
 
+void Machine::send_bulk(std::span<MessageEvent> batch) {
+  if (batch.empty()) return;
+  if (!g_bulk_charging) {
+    // Scalar reference path: decompose in batch order. The arrival clocks
+    // (and filled distances) are the same values the fast path computes.
+    for (MessageEvent& e : batch) {
+      e.distance = manhattan(e.from, e.to);
+      e.arrival = send(e.from, e.to, e.payload);
+    }
+    return;
+  }
+  // Tight accumulation loop: no phase-set walk, no virtual dispatch.
+  index_t energy = 0;
+  index_t messages = 0;
+  Clock max{};
+  for (MessageEvent& e : batch) {
+    const index_t dist = manhattan(e.from, e.to);
+    e.distance = dist;
+    if (dist == 0) {
+      // Zero-length sends are free and unreported, as in the scalar path.
+      e.arrival = e.payload;
+      continue;
+    }
+    e.arrival = e.payload.after_hop(dist);
+    energy += dist;
+    ++messages;
+    max = Clock::join(max, e.arrival);
+  }
+  if (messages == 0) return;
+  // One flush into the totals and each active phase. Identical to the
+  // scalar path's per-message charge/observe because sums commute and
+  // Clock::join is an associative/commutative max; the whole batch is
+  // attributed to the phase set active at this call (phases cannot change
+  // mid-batch by contract).
+  totals_.energy += energy;
+  totals_.messages += messages;
+  totals_.max_clock = Clock::join(totals_.max_clock, max);
+  for (const PhaseId id : active_) {
+    Metrics& pm = slot(id);
+    pm.energy += energy;
+    pm.messages += messages;
+    pm.max_clock = Clock::join(pm.max_clock, max);
+  }
+  emit([&](TraceSink& s) { s.on_send_bulk(batch); });
+}
+
 void Machine::op(index_t n) {
   assert(n >= 0);
   totals_.local_ops += n;
   for (const PhaseId id : active_) slot(id).local_ops += n;
   emit([&](TraceSink& s) { s.on_op(n); });
+}
+
+void Machine::op_bulk(index_t n) {
+  // local_ops simply sums, so one op(n) is already metrics-identical to
+  // any per-iteration decomposition; the bulk name documents intent at
+  // batched call sites. Sinks see a single on_op(n) in both modes (the
+  // scalar path never reported op granularity either).
+  op(n);
 }
 
 void Machine::observe(Clock c) {
@@ -51,6 +115,27 @@ void Machine::birth(Coord at, Clock c) {
 
 void Machine::death(Coord at) {
   emit([&](TraceSink& s) { s.on_death(at); });
+}
+
+void Machine::birth_bulk(std::span<const BirthEvent> batch) {
+  if (batch.empty()) return;
+  if (!g_bulk_charging) {
+    for (const BirthEvent& b : batch) birth(b.at, b.clock);
+    return;
+  }
+  Clock max{};
+  for (const BirthEvent& b : batch) max = Clock::join(max, b.clock);
+  observe(max);
+  emit([&](TraceSink& s) { s.on_birth_bulk(batch); });
+}
+
+void Machine::death_bulk(std::span<const Coord> batch) {
+  if (batch.empty()) return;
+  if (!g_bulk_charging) {
+    for (const Coord c : batch) death(c);
+    return;
+  }
+  emit([&](TraceSink& s) { s.on_death_bulk(batch); });
 }
 
 void Machine::reset() {
@@ -78,6 +163,15 @@ std::map<std::string, Metrics> Machine::phases() const {
 const Metrics& Machine::phase(std::string_view name) const {
   static const Metrics kEmpty{};
   const PhaseId id = PhaseRegistry::instance().find(name);
+  if (id == kNoPhase || id >= touched_flag_.size() ||
+      touched_flag_[id] == 0) {
+    return kEmpty;
+  }
+  return phase_totals_[id];
+}
+
+const Metrics& Machine::phase(PhaseId id) const {
+  static const Metrics kEmpty{};
   if (id == kNoPhase || id >= touched_flag_.size() ||
       touched_flag_[id] == 0) {
     return kEmpty;

@@ -25,16 +25,16 @@
 #include "spatial/geometry.hpp"
 #include "spatial/metrics.hpp"
 #include "spatial/phase.hpp"
+#include "spatial/trace.hpp"
 
 #include <deque>
 #include <map>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace scm {
-
-class TraceSink;
 
 /// Cost-accounting simulator of the Spatial Computer Model.
 class Machine {
@@ -52,10 +52,34 @@ class Machine {
   /// prices actual wire traversals, and "sending to yourself" is local.
   Clock send(Coord from, Coord to, Clock payload);
 
+  /// Bulk-charging fast path: charges every message of `batch` as one
+  /// batch. The caller fills each entry's `from`, `to`, and `payload`;
+  /// the machine fills `distance` and `arrival` (the returned clocks).
+  /// Zero-length entries are free, exactly as in the scalar path.
+  ///
+  /// Semantics are *metrics-identical* to calling send() per entry in
+  /// batch order: same totals, same per-phase records, same events as
+  /// observed through the default TraceSink replay. The speedup comes
+  /// from amortization: energy/messages/clock maxima accumulate in a
+  /// tight local loop, the active-phase set is resolved once per batch
+  /// (phases cannot change mid-batch — the whole batch is attributed to
+  /// the phase set active at this call), and attached sinks receive one
+  /// on_send_bulk event instead of up to two virtual dispatches per
+  /// message. No event is emitted when every entry is zero-length.
+  ///
+  /// When bulk charging is disabled (set_bulk_charging(false) — the A/B
+  /// reference mode), the batch decomposes into scalar send() calls.
+  void send_bulk(std::span<MessageEvent> batch);
+
   /// Records `n` local compute operations (free in the model's metrics;
   /// reported to trace sinks via TraceSink::on_op for per-phase work
   /// attribution).
   void op(index_t n = 1);
+
+  /// Bulk form of op(): records `n` local operations accumulated by a
+  /// batched loop as one charged event. Metrics-identical to `n` op()
+  /// calls (local_ops simply sums); sinks see one on_op(n) instead of n.
+  void op_bulk(index_t n);
 
   /// Records that a value with clock `c` now exists (used when a clock is
   /// produced by pure local combination so the running maximum stays
@@ -72,6 +96,22 @@ class Machine {
   /// or freed. Free in the model's metrics; reported to trace sinks.
   void death(Coord at);
 
+  /// Bulk value placement (GridArray::announce): observes the join of all
+  /// birth clocks once and emits a single on_birth_bulk event.
+  /// Metrics-identical to per-entry birth() in batch order.
+  void birth_bulk(std::span<const BirthEvent> batch);
+
+  /// Bulk value retirement (GridArray::retire): one on_death_bulk event.
+  void death_bulk(std::span<const Coord> batch);
+
+  /// Process-wide switch between the bulk fast path (default) and the
+  /// scalar reference path, in which every *_bulk call decomposes into
+  /// its per-event scalar form. The two paths are metrics-identical by
+  /// contract; the A/B equivalence harness (spatial/bulk_ab.hpp) runs
+  /// algorithms under both and asserts it.
+  static void set_bulk_charging(bool enabled);
+  [[nodiscard]] static bool bulk_charging();
+
   /// Costs accumulated since construction (or the last reset).
   [[nodiscard]] const Metrics& metrics() const { return totals_; }
 
@@ -82,7 +122,9 @@ class Machine {
   /// from the id-indexed engine (names sorted, as the historical map API
   /// guaranteed). Nested phases accumulate into every active scope, so
   /// "sort" includes its "sort/merge" children; a phase appears once it
-  /// has at least one attributed event.
+  /// has at least one attributed event. Builds a fresh std::map (string
+  /// keys, node allocations) on every call: report-time only — hot query
+  /// paths use phase(name) / phase(id) / touched_phases() instead.
   [[nodiscard]] std::map<std::string, Metrics> phases() const;
 
   /// Costs recorded under a phase name; a zero Metrics if never entered.
@@ -90,6 +132,21 @@ class Machine {
   /// transitions (per-phase records never move), so hot query paths pay
   /// no Metrics copy.
   [[nodiscard]] const Metrics& phase(std::string_view name) const;
+
+  /// Id-indexed form of phase(): costs recorded under the interned phase
+  /// `id`, zero Metrics if never touched. Stable reference; the
+  /// zero-string-work accessor for hot query loops.
+  [[nodiscard]] const Metrics& phase(PhaseId id) const;
+
+  /// The ids of every phase with at least one attributed event since the
+  /// last reset, in first-touch order. With phase(PhaseId) this iterates
+  /// per-phase records without materializing the phases() map — use it
+  /// (or phase(name)) on hot query paths; phases() copies every record
+  /// into a freshly built string-keyed map on each call and exists for
+  /// report-time snapshots.
+  [[nodiscard]] std::span<const PhaseId> touched_phases() const {
+    return touched_;
+  }
 
   /// Attaches a message observer (e.g. a LoadMap building per-processor
   /// congestion maps); pass nullptr to detach. Not owned. Zero-length

@@ -124,6 +124,35 @@ void Profiler::on_send(const MessageEvent& e) {
   }
 }
 
+void Profiler::on_send_bulk(std::span<const MessageEvent> batch) {
+  index_t energy = 0;
+  index_t messages = 0;
+  Clock max{};
+  // nodes_ only grows at phase transitions, so the current node's
+  // reference is stable for the whole batch.
+  PhaseNode& node = nodes_[cur_];
+  for (const MessageEvent& e : batch) {
+    if (e.distance == 0) continue;
+    ++ticks_;
+    energy += e.distance;
+    ++messages;
+    max = Clock::join(max, e.arrival);
+    node.hist.add(e.distance);
+    if (load_map_ != nullptr) {
+      load_map_->on_message(e.from, e.to, e.distance);
+    }
+    if (options_.witness) {
+      record_witness(WitnessEvent{e.from, e.to, e.distance, e.payload,
+                                  e.arrival, cur_, /*is_birth=*/false});
+    }
+  }
+  totals_.energy += energy;
+  totals_.messages += messages;
+  totals_.max_clock = Clock::join(totals_.max_clock, max);
+  node.self_energy += energy;
+  node.self_messages += messages;
+}
+
 void Profiler::on_op(index_t n) {
   ++ticks_;
   totals_.local_ops += n;
@@ -137,6 +166,20 @@ void Profiler::on_birth(Coord at, Clock c) {
     record_witness(
         WitnessEvent{at, at, 0, c, c, cur_, /*is_birth=*/true});
   }
+}
+
+void Profiler::on_birth_bulk(std::span<const BirthEvent> batch) {
+  Clock max{};
+  for (const BirthEvent& b : batch) {
+    ++ticks_;
+    max = Clock::join(max, b.clock);
+    if (options_.witness) {
+      record_witness(
+          WitnessEvent{b.at, b.at, 0, b.clock, b.clock, cur_,
+                       /*is_birth=*/true});
+    }
+  }
+  totals_.max_clock = Clock::join(totals_.max_clock, max);
 }
 
 void Profiler::record_witness(const WitnessEvent& e) {

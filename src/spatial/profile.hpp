@@ -52,6 +52,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -158,8 +159,14 @@ class Profiler final : public TraceSink {
   // TraceSink hooks.
   void on_message(Coord from, Coord to, index_t distance) override;
   void on_send(const MessageEvent& e) override;
+  /// Batched counterpart of on_message+on_send: one virtual dispatch and
+  /// one flush of totals/self counters per batch, with per-message ticks,
+  /// histogram adds, and witness records kept so every exported artifact
+  /// is identical to the replayed per-message stream.
+  void on_send_bulk(std::span<const MessageEvent> batch) override;
   void on_op(index_t n) override;
   void on_birth(Coord at, Clock c) override;
+  void on_birth_bulk(std::span<const BirthEvent> batch) override;
   void on_phase_enter(PhaseId id) override;
   void on_phase_exit(PhaseId id) override;
   void on_reset() override;

@@ -42,6 +42,13 @@ void LoadMap::on_message(Coord from, Coord to, index_t distance) {
   }
 }
 
+void LoadMap::on_send_bulk(std::span<const MessageEvent> batch) {
+  for (const MessageEvent& e : batch) {
+    if (e.distance == 0) continue;
+    on_message(e.from, e.to, e.distance);
+  }
+}
+
 index_t LoadMap::load_at(Coord c) const {
   const auto it = load_.find({c.row, c.col});
   return it == load_.end() ? 0 : it->second;

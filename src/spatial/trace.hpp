@@ -18,6 +18,7 @@
 #include "spatial/phase.hpp"
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,12 +29,22 @@ namespace scm {
 /// TraceSink::on_send. `payload` is the critical-path clock the value
 /// carried on departure; `arrival` is its clock on arrival, which for a
 /// conforming machine equals payload.after_hop(distance).
+///
+/// The same struct is the unit of Machine::send_bulk batches: the caller
+/// fills from/to/payload and the machine fills distance/arrival.
 struct MessageEvent {
   Coord from{};
   Coord to{};
   index_t distance{0};
   Clock payload{};
   Clock arrival{};
+};
+
+/// One entry of a Machine::birth_bulk batch (GridArray::announce): a value
+/// with clock `clock` becomes resident at `at` without a message.
+struct BirthEvent {
+  Coord at{};
+  Clock clock{};
 };
 
 /// Observer of machine events. Attach per-machine with Machine::set_trace,
@@ -53,6 +64,22 @@ class TraceSink {
   /// together with on_message.
   virtual void on_send(const MessageEvent& e) { (void)e; }
 
+  /// Called once per Machine::send_bulk batch containing at least one
+  /// charged message. The batch MAY contain zero-length entries
+  /// (distance == 0); those are free in the model and sinks must skip
+  /// them, exactly as the scalar path never reports them. The default
+  /// implementation replays the batch through on_message/on_send, so a
+  /// sink that only implements the scalar hooks observes a stream
+  /// indistinguishable from per-message charging; sinks with batchable
+  /// counters (Profiler, LoadMap) override it to amortize the dispatch.
+  virtual void on_send_bulk(std::span<const MessageEvent> batch) {
+    for (const MessageEvent& e : batch) {
+      if (e.distance == 0) continue;
+      on_message(e.from, e.to, e.distance);
+      on_send(e);
+    }
+  }
+
   /// `n` local compute operations were recorded (Machine::op). Free in
   /// the model's cost metrics; reported so profilers can attribute local
   /// work per phase.
@@ -67,6 +94,18 @@ class TraceSink {
 
   /// The value resident at `at` was consumed or freed (Machine::death).
   virtual void on_death(Coord at) { (void)at; }
+
+  /// A batch of value births (Machine::birth_bulk, e.g. one per element
+  /// of GridArray::announce). Default replays per birth.
+  virtual void on_birth_bulk(std::span<const BirthEvent> batch) {
+    for (const BirthEvent& b : batch) on_birth(b.at, b.clock);
+  }
+
+  /// A batch of value deaths (Machine::death_bulk, e.g. GridArray::retire).
+  /// Default replays per death.
+  virtual void on_death_bulk(std::span<const Coord> batch) {
+    for (const Coord c : batch) on_death(c);
+  }
 
   /// A named cost-attribution phase was entered (Machine::PhaseScope).
   /// Phase events carry interned ids, not names, so sinks on the hot path
@@ -89,6 +128,10 @@ class TraceSink {
 class LoadMap final : public TraceSink {
  public:
   void on_message(Coord from, Coord to, index_t distance) override;
+
+  /// Batched routing: one virtual dispatch per batch instead of two per
+  /// message; per-processor counts are identical to the replayed stream.
+  void on_send_bulk(std::span<const MessageEvent> batch) override;
 
   /// Traffic units that passed through processor `c`.
   [[nodiscard]] index_t load_at(Coord c) const;

@@ -1,8 +1,10 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstdio>
+#include <ios>
 #include <sstream>
 #include <utility>
 
@@ -46,7 +48,24 @@ std::string Table::str() const {
   return os.str();
 }
 
-void Table::print() const { std::fputs(str().c_str(), stdout); }
+void Table::print() const {
+  // One write and one flush per complete table (see buffer_stdio): the
+  // rendered block ends in '\n' and appears atomically even under full
+  // buffering.
+  std::fputs(str().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+void buffer_stdio() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  std::ios::sync_with_stdio(false);
+  // The buffer must outlive all stdout writes, including those from exit
+  // handlers, hence static storage.
+  static std::array<char, 1 << 16> buffer;
+  std::setvbuf(stdout, buffer.data(), _IOFBF, buffer.size());
+}
 
 std::string fmt_double(double v, int prec) {
   std::ostringstream os;

@@ -32,6 +32,15 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Puts stdout into fully buffered mode for bulk sweep output: turns off
+/// C++/C stream synchronization and installs a 64 KiB stdio buffer, so a
+/// large table or benchmark sweep issues a handful of writes instead of
+/// one per line. Pair with the one-flush policy: emitters of complete
+/// blocks (Table::print) flush exactly once, after their final '\n', and
+/// anything still buffered flushes on normal exit. Call once at the top
+/// of main, before any output. Idempotent.
+void buffer_stdio();
+
 /// Formats a double with `prec` significant digits (benchmark row helper).
 [[nodiscard]] std::string fmt_double(double v, int prec = 4);
 

@@ -5,6 +5,8 @@
 
 #include <numeric>
 #include <set>
+#include <span>
+#include <vector>
 
 namespace scm {
 namespace {
@@ -80,6 +82,25 @@ TEST(GridArray, RoutePermutationIdentityIntoNewLayout) {
   auto dst = route_permutation(m, src, src.region(), Layout::kZOrder);
   EXPECT_EQ(dst.values(), src.values());
   EXPECT_EQ(dst.layout(), Layout::kZOrder);
+}
+
+TEST(GridArray, CoordCacheMatchesComputedCoords) {
+  // coords() must agree with per-element coord() for every layout and for
+  // offset sub-ranges, and coord() must return the same answers before and
+  // after the cache is built.
+  const GridArray<int> zorder(Rect{3, 5, 8, 8}, Layout::kZOrder, 30, 7);
+  const GridArray<int> row_major(Rect{-2, 4, 4, 6}, Layout::kRowMajor, 20, 3);
+  for (const auto* a : {&zorder, &row_major}) {
+    std::vector<Coord> before;
+    for (index_t i = 0; i < a->size(); ++i) before.push_back(a->coord(i));
+    const std::span<const Coord> cached = a->coords();
+    ASSERT_EQ(static_cast<index_t>(cached.size()), a->size());
+    for (index_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ(cached[static_cast<size_t>(i)], before[static_cast<size_t>(i)])
+          << "i=" << i;
+      EXPECT_EQ(a->coord(i), before[static_cast<size_t>(i)]) << "i=" << i;
+    }
+  }
 }
 
 TEST(GridArray, MaxClockJoinsAllElements) {

@@ -39,6 +39,45 @@ TEST(ZOrder, LargeCoordinatesRoundTrip) {
   EXPECT_EQ(off.col, big - 77);
 }
 
+// Bit-at-a-time reference implementations, cross-checked against the
+// byte-LUT production encode/decode.
+index_t reference_encode(index_t row, index_t col) {
+  index_t z = 0;
+  for (int bit = 0; bit < 31; ++bit) {
+    z |= ((col >> bit) & 1) << (2 * bit);
+    z |= ((row >> bit) & 1) << (2 * bit + 1);
+  }
+  return z;
+}
+
+Offset2D reference_decode(index_t z) {
+  Offset2D off{};
+  for (int bit = 0; bit < 31; ++bit) {
+    off.col |= ((z >> (2 * bit)) & 1) << bit;
+    off.row |= ((z >> (2 * bit + 1)) & 1) << bit;
+  }
+  return off;
+}
+
+TEST(ZOrder, ByteLutMatchesBitReference) {
+  // Dense small range plus sparse strides reaching every LUT byte lane.
+  for (index_t z = 0; z < 1 << 16; ++z) {
+    EXPECT_EQ(zorder_decode(z), reference_decode(z)) << "z=" << z;
+  }
+  for (index_t r = 0; r < 256; ++r) {
+    for (index_t c = 0; c < 256; ++c) {
+      EXPECT_EQ(zorder_encode(r, c), reference_encode(r, c));
+    }
+  }
+  const index_t big = index_t{1} << 60;  // stay clear of signed overflow
+  for (index_t z = 0; z < big; z = z * 3 + 12345) {
+    const Offset2D off = reference_decode(z);
+    EXPECT_EQ(zorder_decode(z), off) << "z=" << z;
+    EXPECT_EQ(zorder_encode(off.row, off.col), reference_encode(off.row, off.col))
+        << "z=" << z;
+  }
+}
+
 TEST(ZOrder, CurveIsABijectionOverTheGrid) {
   const Rect r{3, 5, 16, 16};
   std::set<std::pair<index_t, index_t>> seen;
