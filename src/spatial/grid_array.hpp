@@ -49,7 +49,10 @@ class GridArray {
         offset_(offset),
         cells_(static_cast<size_t>(n)) {
     assert(n >= 0 && offset >= 0 && offset + n <= region.size());
-    assert(layout != Layout::kZOrder ||
+    // A Z-order region must be a power-of-two square — except that an
+    // empty array never decodes a Morton position, so any region
+    // (including a degenerate 0 x 0 one) is fine for n == 0.
+    assert(n == 0 || layout != Layout::kZOrder ||
            (region.square() && is_pow2(region.rows)));
   }
 

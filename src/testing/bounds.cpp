@@ -1,0 +1,137 @@
+#include "testing/bounds.hpp"
+
+#include "util/json.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace scm::testing {
+
+namespace {
+
+/// Round-trip-safe number formatting: certificates are small ratios, six
+/// significant digits keep the file diffable while losing nothing the
+/// slack would not absorb anyway.
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<BoundSet> BoundSet::parse(const std::string& text) {
+  const std::optional<util::json::Value> doc = util::json::parse(text);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const util::json::Value* version = doc->find("version");
+  if (version == nullptr || !version->is_number() ||
+      static_cast<int>(version->number) != kVersion) {
+    return std::nullopt;
+  }
+  BoundSet out;
+  if (const util::json::Value* slack = doc->find("slack");
+      slack != nullptr && slack->is_number() && slack->number >= 1.0) {
+    out.slack_ = slack->number;
+  }
+  const util::json::Value* certs = doc->find("certificates");
+  if (certs == nullptr || !certs->is_array()) return std::nullopt;
+  for (const util::json::Value& entry : certs->array) {
+    const util::json::Value* property = entry.find("property");
+    const util::json::Value* metric = entry.find("metric");
+    const util::json::Value* constant = entry.find("constant");
+    const util::json::Value* min_n = entry.find("min_n");
+    if (property == nullptr || !property->is_string() || metric == nullptr ||
+        !metric->is_string() || constant == nullptr ||
+        !constant->is_number() || min_n == nullptr || !min_n->is_number()) {
+      return std::nullopt;
+    }
+    out.certificates_.push_back(BoundCertificate{
+        property->string, metric->string, constant->number,
+        static_cast<index_t>(min_n->number)});
+  }
+  return out;
+}
+
+std::optional<BoundSet> BoundSet::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+std::string BoundSet::serialize() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"version\": " << kVersion << ",\n";
+  os << "  \"slack\": " << fmt(slack_) << ",\n";
+  os << "  \"certificates\": [\n";
+  for (size_t i = 0; i < certificates_.size(); ++i) {
+    const BoundCertificate& c = certificates_[i];
+    os << "    {\"property\": \"" << c.property << "\", \"metric\": \""
+       << c.metric << "\", \"constant\": " << fmt(c.constant)
+       << ", \"min_n\": " << c.min_n << "}"
+       << (i + 1 < certificates_.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+bool BoundSet::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << serialize();
+  return static_cast<bool>(out);
+}
+
+const BoundCertificate* BoundSet::find(const std::string& property,
+                                       const std::string& metric) const {
+  for (const BoundCertificate& c : certificates_) {
+    if (c.property == property && c.metric == metric) return &c;
+  }
+  return nullptr;
+}
+
+void BoundSet::record_ratio(const std::string& property,
+                            const std::string& metric, double ratio,
+                            index_t min_n) {
+  for (BoundCertificate& c : certificates_) {
+    if (c.property == property && c.metric == metric) {
+      c.constant = std::max(c.constant, ratio);
+      return;
+    }
+  }
+  certificates_.push_back(BoundCertificate{property, metric, ratio, min_n});
+}
+
+bool BoundSet::check(const std::string& property, const std::string& metric,
+                     double measured, double budget, index_t size) const {
+  if (budget == 0.0) return measured == 0.0;
+  const BoundCertificate* cert = find(property, metric);
+  if (cert == nullptr) return true;  // no certificate -> not checked
+  if (size < cert->min_n) return true;
+  return measured <= cert->constant * slack_ * budget + kCheckHeadroom;
+}
+
+std::string BoundSet::explain(const std::string& property,
+                              const std::string& metric, double measured,
+                              double budget) const {
+  std::ostringstream os;
+  os << metric << " = " << fmt(measured);
+  if (budget == 0.0) {
+    os << " but the theory budget is 0 (must be exactly free)";
+    return os.str();
+  }
+  const BoundCertificate* cert = find(property, metric);
+  const double constant = cert != nullptr ? cert->constant : 0.0;
+  os << " > certificate " << fmt(constant) << " * slack " << fmt(slack_)
+     << " * budget " << fmt(budget) << " + headroom " << fmt(kCheckHeadroom)
+     << " = " << fmt(constant * slack_ * budget + kCheckHeadroom)
+     << " (ratio " << fmt(measured / budget) << ")";
+  return os.str();
+}
+
+}  // namespace scm::testing

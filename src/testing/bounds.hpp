@@ -1,0 +1,111 @@
+// Bound certificates: the fitted constants of the cost oracles.
+//
+// A property reports, per metric, an instance-specific *theory budget* —
+// the bound expression of the paper evaluated on that instance (exact
+// host replays for data-oblivious networks, Θ-shapes with instance
+// parameters otherwise). A certificate turns the budget into a pass/fail
+// check:
+//
+//     measured  <=  constant * slack * budget + headroom
+//
+// where `constant` is the largest measured/budget ratio observed over the
+// seed fitting runs (`fuzz_main --fit-bounds`) and `slack` is the
+// regression tolerance. `headroom` is a small absolute allowance (a few
+// units): on tiny instances the integer-valued metrics — depth above all —
+// move in whole steps, so a ±1 jitter can exceed any multiplicative slack
+// while meaning nothing. It is negligible against real budgets. A code
+// change that inflates a routing constant beyond the tolerance — or
+// breaks an asymptotic claim outright — fails the certificate loudly,
+// with the replay token of the offending case.
+//
+// The certificates live in the versioned `testing/bounds.json`
+// (schema documented in docs/TESTING.md); instances smaller than a
+// certificate's `min_n` are exempt (lower-order terms dominate there).
+#pragma once
+
+#include "spatial/geometry.hpp"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace scm::testing {
+
+/// One certificate: the fitted constant for (property, metric).
+struct BoundCertificate {
+  std::string property;
+  std::string metric;    ///< "energy" / "depth" / "distance"
+  double constant{0};    ///< max measured/budget ratio over the fit runs
+  index_t min_n{2};      ///< instances below this size are not checked
+
+  friend bool operator==(const BoundCertificate&,
+                         const BoundCertificate&) = default;
+};
+
+/// The certificate table of testing/bounds.json.
+class BoundSet {
+ public:
+  /// Schema version this code reads and writes.
+  static constexpr int kVersion = 1;
+
+  /// Default regression tolerance when a file does not specify one.
+  static constexpr double kDefaultSlack = 1.25;
+
+  /// Absolute allowance on top of the multiplicative bound: absorbs the
+  /// whole-step jitter of integer metrics (depth +-1 on an n=2 instance)
+  /// that no multiplicative slack can.
+  static constexpr double kCheckHeadroom = 4.0;
+
+  BoundSet() = default;
+
+  /// Parses the bounds.json text. std::nullopt on syntax or schema errors
+  /// (including a version this code does not understand).
+  static std::optional<BoundSet> parse(const std::string& text);
+
+  /// Reads and parses a file. std::nullopt when unreadable or invalid.
+  static std::optional<BoundSet> load(const std::string& path);
+
+  /// Stable serialization (certificates in insertion order) matching the
+  /// documented schema; ends with a newline.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Writes serialize() to `path`. False on I/O failure.
+  bool save(const std::string& path) const;
+
+  /// Certificate lookup; nullptr when the pair has no certificate (the
+  /// runner treats that as "not checked" and reports it in fit mode).
+  [[nodiscard]] const BoundCertificate* find(const std::string& property,
+                                             const std::string& metric) const;
+
+  /// Fit-mode update: raises (or creates) the certificate for
+  /// (property, metric) to at least `ratio` with the given gate.
+  void record_ratio(const std::string& property, const std::string& metric,
+                    double ratio, index_t min_n);
+
+  [[nodiscard]] double slack() const { return slack_; }
+  void set_slack(double s) { slack_ = s; }
+
+  [[nodiscard]] const std::vector<BoundCertificate>& certificates() const {
+    return certificates_;
+  }
+
+  /// The certificate check. `budget == 0` demands `measured == 0` (an
+  /// exact-zero budget means the theory says no cost at all). Unknown
+  /// (property, metric) pairs pass — absence of a certificate is reported
+  /// by the runner, not silently failed.
+  [[nodiscard]] bool check(const std::string& property,
+                           const std::string& metric, double measured,
+                           double budget, index_t size) const;
+
+  /// Human-readable bound expression for failure reports:
+  /// "measured M > constant C * slack S * budget B".
+  [[nodiscard]] std::string explain(const std::string& property,
+                                    const std::string& metric,
+                                    double measured, double budget) const;
+
+ private:
+  double slack_{kDefaultSlack};
+  std::vector<BoundCertificate> certificates_;
+};
+
+}  // namespace scm::testing

@@ -1,0 +1,280 @@
+#include "testing/gen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace scm::testing {
+
+index_t Rng::uniform(index_t lo, index_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<index_t>(next());  // full 64-bit range
+  // Rejection sampling for exact uniformity (platform-stable, unlike
+  // std::uniform_int_distribution).
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+  std::uint64_t draw = next();
+  while (draw >= limit) draw = next();
+  return lo + static_cast<index_t>(draw % span);
+}
+
+std::uint64_t derive_case_seed(std::uint64_t master_seed, index_t case_index) {
+  // One SplitMix64 scramble of (seed ^ golden-ratio * index): distinct
+  // cases land in decorrelated stream positions.
+  std::uint64_t z = master_seed ^
+                    (0x9e3779b97f4a7c15ULL *
+                     (static_cast<std::uint64_t>(case_index) + 1));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+const char* to_string(KeyShape shape) {
+  switch (shape) {
+    case KeyShape::kUniform: return "uniform";
+    case KeyShape::kSorted: return "sorted";
+    case KeyShape::kReversed: return "reversed";
+    case KeyShape::kFewDistinct: return "few-distinct";
+    case KeyShape::kAllEqual: return "all-equal";
+    case KeyShape::kOrganPipe: return "organ-pipe";
+    case KeyShape::kAlmostSorted: return "almost-sorted";
+    case KeyShape::kZeroOne: return "zero-one";
+  }
+  return "?";
+}
+
+std::vector<std::int64_t> gen_keys(Rng& rng, index_t n, KeyShape shape) {
+  std::vector<std::int64_t> keys(static_cast<size_t>(n));
+  switch (shape) {
+    case KeyShape::kUniform:
+      for (auto& k : keys) k = rng.uniform(-1000000, 1000000);
+      break;
+    case KeyShape::kSorted:
+      for (auto& k : keys) k = rng.uniform(-1000, 1000);
+      std::sort(keys.begin(), keys.end());
+      break;
+    case KeyShape::kReversed:
+      for (auto& k : keys) k = rng.uniform(-1000, 1000);
+      std::sort(keys.begin(), keys.end(), std::greater<>{});
+      break;
+    case KeyShape::kFewDistinct: {
+      const index_t distinct = rng.uniform(2, 4);
+      std::vector<std::int64_t> pool(static_cast<size_t>(distinct));
+      for (auto& v : pool) v = rng.uniform(-100, 100);
+      for (auto& k : keys) {
+        k = pool[static_cast<size_t>(rng.uniform(0, distinct - 1))];
+      }
+      break;
+    }
+    case KeyShape::kAllEqual: {
+      const std::int64_t v = rng.uniform(-100, 100);
+      for (auto& k : keys) k = v;
+      break;
+    }
+    case KeyShape::kOrganPipe:
+      for (index_t i = 0; i < n; ++i) {
+        keys[static_cast<size_t>(i)] = std::min(i, n - 1 - i);
+      }
+      break;
+    case KeyShape::kAlmostSorted: {
+      for (auto& k : keys) k = rng.uniform(-1000, 1000);
+      std::sort(keys.begin(), keys.end());
+      const index_t swaps = std::max<index_t>(1, n / 16);
+      for (index_t s = 0; s < swaps && n >= 2; ++s) {
+        const auto i = static_cast<size_t>(rng.uniform(0, n - 1));
+        const auto j = static_cast<size_t>(rng.uniform(0, n - 1));
+        std::swap(keys[i], keys[j]);
+      }
+      break;
+    }
+    case KeyShape::kZeroOne:
+      for (auto& k : keys) k = rng.uniform(0, 1);
+      break;
+  }
+  return keys;
+}
+
+KeyShape gen_key_shape(Rng& rng) {
+  // Half the mass on uniform inputs, the rest spread over the adversarial
+  // shapes (each individually likely enough to appear in a short smoke run).
+  static constexpr KeyShape kShapes[] = {
+      KeyShape::kUniform,      KeyShape::kUniform,
+      KeyShape::kSorted,       KeyShape::kReversed,
+      KeyShape::kFewDistinct,  KeyShape::kAllEqual,
+      KeyShape::kOrganPipe,    KeyShape::kAlmostSorted,
+      KeyShape::kZeroOne,
+  };
+  return kShapes[rng.uniform(0, std::size(kShapes) - 1)];
+}
+
+std::vector<index_t> gen_permutation(Rng& rng, index_t n) {
+  std::vector<index_t> perm(static_cast<size_t>(n));
+  for (index_t i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+  for (index_t i = n - 1; i > 0; --i) {
+    const index_t j = rng.uniform(0, i);
+    std::swap(perm[static_cast<size_t>(i)], perm[static_cast<size_t>(j)]);
+  }
+  return perm;
+}
+
+const char* to_string(GeomKind kind) {
+  switch (kind) {
+    case GeomKind::kSquareZ: return "square-z";
+    case GeomKind::kSquareRow: return "square-row";
+    case GeomKind::kLine: return "line";
+    case GeomKind::kColumn: return "column";
+    case GeomKind::kWideRect: return "wide-rect";
+    case GeomKind::kTallRect: return "tall-rect";
+    case GeomKind::kBigSquareZ: return "big-square-z";
+  }
+  return "?";
+}
+
+Geometry gen_geometry(Rng& rng, index_t n, GeomKind kind) {
+  Geometry g;
+  g.kind = kind;
+  // Random origin, sometimes negative: translation invariance is part of
+  // the model and a metamorphic oracle of the fuzz loop.
+  const index_t r0 = rng.uniform(-32, 32);
+  const index_t c0 = rng.uniform(-32, 32);
+  // Padded algorithms (bitonic) need ceil_pow2(n) layout slots.
+  index_t cap = 1;
+  while (cap < std::max<index_t>(n, 1)) cap <<= 1;
+  switch (kind) {
+    case GeomKind::kSquareZ: {
+      g.region = square_at({r0, c0}, square_side_for(n));
+      g.zorder = true;
+      break;
+    }
+    case GeomKind::kSquareRow: {
+      g.region = square_at({r0, c0}, square_side_for(n));
+      g.zorder = false;
+      break;
+    }
+    case GeomKind::kLine:
+      g.region = Rect{r0, c0, 1, cap};
+      g.zorder = false;
+      break;
+    case GeomKind::kColumn:
+      g.region = Rect{r0, c0, cap, 1};
+      g.zorder = false;
+      break;
+    case GeomKind::kWideRect: {
+      const index_t h = rng.uniform(2, std::max<index_t>(2, isqrt(cap)));
+      const index_t w = (cap + h - 1) / h + rng.uniform(0, 3);
+      g.region = Rect{r0, c0, h, w};
+      g.zorder = false;
+      break;
+    }
+    case GeomKind::kTallRect: {
+      const index_t w = rng.uniform(2, std::max<index_t>(2, isqrt(cap)));
+      const index_t h = (cap + w - 1) / w + rng.uniform(0, 3);
+      g.region = Rect{r0, c0, h, w};
+      g.zorder = false;
+      break;
+    }
+    case GeomKind::kBigSquareZ: {
+      g.region = square_at({r0, c0}, 2 * square_side_for(n));
+      g.zorder = true;
+      break;
+    }
+  }
+  assert(g.region.size() >= cap);
+  return g;
+}
+
+Geometry canonical_geometry(GeomKind kind, index_t n) {
+  Geometry g;
+  g.kind = kind;
+  const index_t cap = [&] {
+    index_t c = 1;
+    while (c < std::max<index_t>(n, 1)) c <<= 1;
+    return c;
+  }();
+  switch (kind) {
+    case GeomKind::kSquareZ:
+      g.region = square_at({0, 0}, square_side_for(n));
+      g.zorder = true;
+      break;
+    case GeomKind::kSquareRow:
+      g.region = square_at({0, 0}, square_side_for(n));
+      g.zorder = false;
+      break;
+    case GeomKind::kLine:
+      g.region = Rect{0, 0, 1, cap};
+      g.zorder = false;
+      break;
+    case GeomKind::kColumn:
+      g.region = Rect{0, 0, cap, 1};
+      g.zorder = false;
+      break;
+    case GeomKind::kWideRect:
+      g.region = Rect{0, 0, 2, (cap + 1) / 2};
+      g.zorder = false;
+      break;
+    case GeomKind::kTallRect:
+      g.region = Rect{0, 0, (cap + 1) / 2, 2};
+      g.zorder = false;
+      break;
+    case GeomKind::kBigSquareZ:
+      g.region = square_at({0, 0}, 2 * square_side_for(n));
+      g.zorder = true;
+      break;
+  }
+  return g;
+}
+
+GeomKind pick_geom(Rng& rng, const std::vector<GeomKind>& allowed) {
+  assert(!allowed.empty());
+  return allowed[static_cast<size_t>(
+      rng.uniform(0, static_cast<index_t>(allowed.size()) - 1))];
+}
+
+CooMatrix gen_matrix(Rng& rng, index_t n_rows, index_t n_cols,
+                     double density) {
+  CooMatrix mat(n_rows, n_cols);
+  const double cells = static_cast<double>(n_rows) *
+                       static_cast<double>(n_cols);
+  auto target = static_cast<index_t>(density * cells);
+  target = std::clamp<index_t>(target, 1, n_rows * n_cols);
+  std::unordered_set<std::uint64_t> used;
+  index_t placed = 0;
+  // Distinct coordinates (duplicates act additively in COO, which is legal
+  // but makes the host-reference check weaker for value canonicalization).
+  index_t attempts = 0;
+  while (placed < target && attempts < 8 * target + 64) {
+    ++attempts;
+    const index_t r = rng.uniform(0, n_rows - 1);
+    const index_t c = rng.uniform(0, n_cols - 1);
+    const std::uint64_t key = (static_cast<std::uint64_t>(r) << 32) |
+                              static_cast<std::uint64_t>(c);
+    if (!used.insert(key).second) continue;
+    // Small integer values: double arithmetic on them is exact, so the
+    // spatial result must equal the host reference bit-for-bit.
+    mat.add(r, c, static_cast<double>(rng.uniform(-8, 8)));
+    ++placed;
+  }
+  return mat;
+}
+
+std::vector<std::pair<index_t, index_t>> gen_edges(Rng& rng, index_t n,
+                                                   index_t m) {
+  std::vector<std::pair<index_t, index_t>> edges;
+  edges.reserve(static_cast<size_t>(m));
+  for (index_t e = 0; e < m; ++e) {
+    edges.emplace_back(rng.uniform(0, n - 1), rng.uniform(0, n - 1));
+  }
+  return edges;
+}
+
+std::vector<index_t> gen_pram_schedule(Rng& rng, index_t p, index_t steps) {
+  std::vector<index_t> flat;
+  flat.reserve(static_cast<size_t>(2 * steps * p));
+  for (index_t t = 0; t < 2 * steps; ++t) {
+    const std::vector<index_t> perm = gen_permutation(rng, p);
+    flat.insert(flat.end(), perm.begin(), perm.end());
+  }
+  return flat;
+}
+
+}  // namespace scm::testing

@@ -1,0 +1,153 @@
+// Seeded input generators for the property-based fuzzing engine.
+//
+// Every generator draws from an explicit SplitMix64-based engine whose
+// sequence is fully specified here (no standard-library distributions,
+// whose outputs differ across implementations), so a replay token
+// `<seed>:<case>` reproduces the exact same instance on every platform and
+// compiler. The catalogue covers the domain of the paper's algorithms:
+// random permutations, key arrays in adversarial shapes (sorted, reversed,
+// duplicate-heavy, all-equal, organ-pipe, negative-valued), sparse
+// matrices with controlled density, random EREW PRAM programs, random
+// graphs, and grid geometries including the degenerate 1 x n line and
+// non-power-of-two rectangles.
+#pragma once
+
+#include "spatial/geometry.hpp"
+#include "spmv/coo.hpp"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scm::testing {
+
+/// Deterministic, platform-stable pseudo-random engine (SplitMix64). The
+/// whole fuzzing subsystem draws exclusively from this class so that seeds
+/// mean the same instance everywhere.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit draw (SplitMix64 step).
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive; lo <= hi).
+  index_t uniform(index_t lo, index_t hi);
+
+  /// Uniform double in [0, 1).
+  double real() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool chance(double p) { return real() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Derives the per-case seed from the master seed and the case index — the
+/// two halves of a replay token. A distinct SplitMix64 mix (not the Rng
+/// stream itself) so neighbouring cases are decorrelated.
+[[nodiscard]] std::uint64_t derive_case_seed(std::uint64_t master_seed,
+                                             index_t case_index);
+
+/// Shapes of generated key arrays. kUniform draws wide (including large
+/// negative values); the other shapes are the adversarial corners sorting
+/// and selection algorithms historically get wrong.
+enum class KeyShape {
+  kUniform,       // wide range, positive and negative
+  kSorted,        // already ascending
+  kReversed,      // descending (the permutation lower-bound shape)
+  kFewDistinct,   // duplicate-heavy: values drawn from <= 4 distinct keys
+  kAllEqual,      // every key identical
+  kOrganPipe,     // ascending then descending
+  kAlmostSorted,  // sorted with a few random transpositions
+  kZeroOne,       // 0/1 keys (comparator-contract stress)
+};
+
+/// Human-readable shape name for failure reports.
+[[nodiscard]] const char* to_string(KeyShape shape);
+
+/// `n` keys of the given shape.
+[[nodiscard]] std::vector<std::int64_t> gen_keys(Rng& rng, index_t n,
+                                                 KeyShape shape);
+
+/// A random shape, biased toward the adversarial ones.
+[[nodiscard]] KeyShape gen_key_shape(Rng& rng);
+
+/// A uniformly random permutation of [0, n) (Fisher-Yates over the stable
+/// engine). Occasionally callers substitute the reversal permutation to
+/// pin the lower-bound witness; this function is always uniform.
+[[nodiscard]] std::vector<index_t> gen_permutation(Rng& rng, index_t n);
+
+/// Grid-geometry families an input array can be laid out on. Properties
+/// restrict to the families their algorithm supports (e.g. scan requires
+/// kSquareZ); the degenerate and non-power-of-two families exist to catch
+/// coordinate bugs the canonical square never exercises.
+enum class GeomKind {
+  kSquareZ,     // canonical Z-order square (square_side_for(n))
+  kSquareRow,   // canonical square, row-major
+  kLine,        // 1 x w row-major (degenerate height)
+  kColumn,      // h x 1 row-major (degenerate width)
+  kWideRect,    // h x w row-major with w > h, both non-power-of-two-ish
+  kTallRect,    // h x w row-major with h > w
+  kBigSquareZ,  // Z-order square with side doubled (sparse occupancy)
+};
+
+[[nodiscard]] const char* to_string(GeomKind kind);
+
+/// Concrete placement for `n` elements: region, layout and origin. The
+/// returned region always holds at least ceil_pow2(max(n, 1)) layout
+/// positions, so padded algorithms (bitonic) fit inside it. Origins may be
+/// negative: the model's grid is unbounded and translation must not change
+/// any cost.
+struct Geometry {
+  GeomKind kind{GeomKind::kSquareZ};
+  Rect region{};
+  bool zorder{true};
+  Coord origin() const { return region.origin(); }
+
+  friend bool operator==(const Geometry&, const Geometry&) = default;
+};
+
+/// A geometry of the given kind for n elements at a random (possibly
+/// negative) origin.
+[[nodiscard]] Geometry gen_geometry(Rng& rng, index_t n, GeomKind kind);
+
+/// The deterministic geometry the shrinker rebuilds after structural
+/// transforms: origin (0, 0) and the smallest region of the same family
+/// (no rng, so shrunk replays are stable).
+[[nodiscard]] Geometry canonical_geometry(GeomKind kind, index_t n);
+
+/// A random geometry kind drawn from `allowed`.
+[[nodiscard]] GeomKind pick_geom(Rng& rng,
+                                 const std::vector<GeomKind>& allowed);
+
+/// A random n_rows x n_cols sparse matrix with ~density * rows * cols
+/// non-zeros at distinct random coordinates, values small integers (exact
+/// in double arithmetic, so host-reference comparison is exact).
+[[nodiscard]] CooMatrix gen_matrix(Rng& rng, index_t n_rows, index_t n_cols,
+                                   double density);
+
+/// A random undirected graph over n vertices with ~m edges (self-loops
+/// allowed; duplicates allowed — both are legal EdgeList inputs).
+[[nodiscard]] std::vector<std::pair<index_t, index_t>> gen_edges(Rng& rng,
+                                                                 index_t n,
+                                                                 index_t m);
+
+/// A random EREW-safe straight-line PRAM program schedule: for each of
+/// `steps` synchronous steps, a read permutation and a write permutation
+/// over the p cells (permutations make every step's accesses exclusive by
+/// construction). Encoded flat as 2 * steps blocks of p indices:
+/// [read_0 | write_0 | read_1 | write_1 | ...].
+[[nodiscard]] std::vector<index_t> gen_pram_schedule(Rng& rng, index_t p,
+                                                     index_t steps);
+
+}  // namespace scm::testing

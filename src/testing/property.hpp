@@ -1,0 +1,115 @@
+// The property registry of the fuzzing engine: one Property per Table-1
+// algorithm (plus the baselines and auxiliaries), each bundling
+//
+//   * generate — build a random CaseInput of roughly a target size from
+//     the seeded generator library (testing/gen.hpp);
+//   * valid    — structural precondition check, used by the shrinker to
+//     reject transformations that leave the algorithm's domain (e.g. a
+//     non-power-of-two n for tree_scan_1d);
+//   * run      — execute the algorithm on a Machine, compare against a
+//     host-side reference (the *functional* oracle), and report the
+//     theory budgets for the *cost* oracles: instance-specific upper-bound
+//     expressions (exact replays for data-oblivious networks, Θ-shapes
+//     with instance parameters like iteration counts otherwise) that the
+//     bound certificates of testing/bounds.json scale by a fitted
+//     constant;
+//   * translate / reflect — metamorphic variants: the same instance on a
+//     translated (or mirrored) grid, whose metrics must not change.
+//
+// Properties are pure: the same CaseInput always produces the same
+// execution, which is what makes replay tokens and shrinking sound.
+#pragma once
+
+#include "spatial/geometry.hpp"
+#include "spatial/machine.hpp"
+#include "spmv/coo.hpp"
+#include "testing/gen.hpp"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scm::testing {
+
+/// One generated test instance. A single struct covers every property's
+/// domain (unused fields stay empty) so the shrinker can apply generic
+/// transformations without knowing which algorithm it is minimizing.
+struct CaseInput {
+  index_t n{0};                     ///< element count (meaning per property)
+  std::vector<std::int64_t> keys;   ///< key array (sorts, scans, select)
+  std::vector<index_t> perm;        ///< permutation of [0, n)
+  std::vector<char> flags;          ///< per-element flags (compact)
+  index_t k{1};                     ///< rank (select, rank_select)
+  std::uint64_t algo_seed{0};       ///< seed consumed by the algorithm
+  Geometry geom{};                  ///< placement on the grid
+  KeyShape shape{KeyShape::kUniform};
+  // Sparse-matrix / graph instances.
+  index_t rows{0};
+  index_t cols{0};
+  std::vector<Triple> triples;
+  index_t n_vertices{0};
+  std::vector<std::pair<index_t, index_t>> edges;
+  // PRAM instances: a flat schedule of 2 * pram_steps permutations over n
+  // cells (see gen_pram_schedule).
+  index_t pram_steps{0};
+  std::vector<index_t> pram_sched;
+
+  /// One-line description; full element dump when the instance is small
+  /// (shrunk reports), sizes only otherwise.
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const CaseInput&, const CaseInput&) = default;
+};
+
+/// Result of running one case: the functional verdict plus the inputs of
+/// the cost oracles.
+struct CaseOutcome {
+  bool ok{true};
+  std::string failure;  ///< functional-oracle mismatch; empty when ok
+  index_t size{0};      ///< effective instance size for certificate gating
+  bool skip_cost{false};  ///< true when cost oracles do not apply (e.g. the
+                          ///< select fallback path, a legal rare event)
+  /// metric name ("energy" / "depth" / "distance") -> theory budget for
+  /// THIS instance. A certificate checks metric <= constant * slack * budget.
+  std::vector<std::pair<std::string, double>> budgets;
+
+  [[nodiscard]] double budget(const std::string& metric) const;
+};
+
+/// A fuzzable algorithm property.
+struct Property {
+  std::string name;
+  index_t min_n{2};    ///< smallest size the generator produces
+  index_t max_n{256};  ///< largest size (keeps smoke-tier runtime bounded)
+  bool metamorphic_translation{true};  ///< costs invariant under translation
+  std::function<CaseInput(Rng&, index_t target_n)> generate;
+  std::function<bool(const CaseInput&)> valid;  ///< may be null (= always)
+  std::function<CaseOutcome(Machine&, const CaseInput&)> run;
+  /// The same instance translated by `delta` (null = shift geom.region).
+  std::function<CaseInput(const CaseInput&, Coord delta)> translate;
+  /// The mirrored instance when representable for this input (a column
+  /// reflection of the occupied subgrid), std::nullopt otherwise. Null for
+  /// properties with no reflection oracle.
+  std::function<std::optional<CaseInput>(const CaseInput&)> reflect;
+  /// Repairs an instance after the shrinker changed its structure (n,
+  /// element drops): re-derives dependent fields (geometry, clamped ranks,
+  /// schedule shapes) so `valid` can accept the candidate. Null = the
+  /// default repair (truncate keys/flags to n, canonical geometry, clamp
+  /// k into [1, n]).
+  std::function<void(CaseInput&)> rebuild;
+};
+
+/// The registry, in a fixed documented order (replay tokens select the
+/// property as case_index % size, so the order is part of the replay
+/// contract for a given revision).
+[[nodiscard]] const std::vector<Property>& all_properties();
+
+/// Registry lookup by name; nullptr when absent.
+[[nodiscard]] const Property* find_property(const std::string& name);
+
+/// Default translation: shifts the geometry region by `delta`.
+[[nodiscard]] CaseInput translate_geometry(const CaseInput& in, Coord delta);
+
+}  // namespace scm::testing

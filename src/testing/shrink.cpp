@@ -1,0 +1,262 @@
+#include "testing/shrink.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace scm::testing {
+
+namespace {
+
+/// Which vector a mask-drop transformation operates on: the instance's
+/// primary element sequence.
+enum class Primary { kKeys, kTriples, kEdges, kNone };
+
+Primary primary_of(const CaseInput& in) {
+  if (!in.triples.empty()) return Primary::kTriples;
+  if (!in.edges.empty()) return Primary::kEdges;
+  if (in.keys.size() > 1) return Primary::kKeys;
+  return Primary::kNone;
+}
+
+size_t primary_size(const CaseInput& in) {
+  switch (primary_of(in)) {
+    case Primary::kKeys: return in.keys.size();
+    case Primary::kTriples: return in.triples.size();
+    case Primary::kEdges: return in.edges.size();
+    case Primary::kNone: return 0;
+  }
+  return 0;
+}
+
+/// Remaps a permutation after dropping elements: kept sources keep their
+/// order, and each destination becomes its rank among the kept
+/// destinations — a permutation of the kept count.
+std::vector<index_t> remap_perm(const std::vector<index_t>& perm,
+                                const std::vector<char>& keep) {
+  std::vector<index_t> kept_dsts;
+  for (size_t i = 0; i < perm.size(); ++i) {
+    if (keep[i]) kept_dsts.push_back(perm[i]);
+  }
+  std::vector<index_t> sorted = kept_dsts;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<index_t> out;
+  out.reserve(kept_dsts.size());
+  for (const index_t d : kept_dsts) {
+    out.push_back(static_cast<index_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), d) - sorted.begin()));
+  }
+  return out;
+}
+
+/// Drops the masked-out elements of the primary sequence, keeping the
+/// dependent vectors (flags, perm) aligned.
+CaseInput drop_elements(const CaseInput& in, const std::vector<char>& keep) {
+  CaseInput out = in;
+  switch (primary_of(in)) {
+    case Primary::kKeys: {
+      out.keys.clear();
+      for (size_t i = 0; i < in.keys.size(); ++i) {
+        if (keep[i]) out.keys.push_back(in.keys[i]);
+      }
+      if (!in.flags.empty()) {
+        out.flags.clear();
+        for (size_t i = 0; i < in.flags.size() && i < keep.size(); ++i) {
+          if (keep[i]) out.flags.push_back(in.flags[i]);
+        }
+      }
+      if (!in.perm.empty()) out.perm = remap_perm(in.perm, keep);
+      out.n = static_cast<index_t>(out.keys.size());
+      break;
+    }
+    case Primary::kTriples: {
+      out.triples.clear();
+      for (size_t i = 0; i < in.triples.size(); ++i) {
+        if (keep[i]) out.triples.push_back(in.triples[i]);
+      }
+      break;
+    }
+    case Primary::kEdges: {
+      out.edges.clear();
+      for (size_t i = 0; i < in.edges.size(); ++i) {
+        if (keep[i]) out.edges.push_back(in.edges[i]);
+      }
+      break;
+    }
+    case Primary::kNone:
+      break;
+  }
+  return out;
+}
+
+/// Rank-compresses keys toward small integers: the d distinct values
+/// become 0..d-1 in order. Preserves every comparison outcome, so
+/// comparator-driven failures survive while the report gets readable.
+CaseInput canonicalize_keys(const CaseInput& in) {
+  CaseInput out = in;
+  std::map<std::int64_t, std::int64_t> rank;
+  for (const std::int64_t k : in.keys) rank[k] = 0;
+  std::int64_t next = 0;
+  for (auto& [key, value] : rank) value = next++;
+  for (auto& k : out.keys) k = rank[k];
+  return out;
+}
+
+}  // namespace
+
+void default_rebuild(CaseInput& in) {
+  if (!in.keys.empty()) {
+    in.n = std::min<index_t>(std::max<index_t>(in.n, 1),
+                             static_cast<index_t>(in.keys.size()));
+    in.keys.resize(static_cast<size_t>(in.n));
+    if (!in.flags.empty()) in.flags.resize(static_cast<size_t>(in.n));
+  } else {
+    in.n = std::max<index_t>(in.n, 1);
+  }
+  in.k = std::clamp<index_t>(in.k, 1, std::max<index_t>(in.n, 1));
+  in.geom = canonical_geometry(in.geom.kind, in.n);
+}
+
+CaseInput shrink_case(const Property& prop, CaseInput failing,
+                      const StillFails& still_fails, index_t max_attempts,
+                      ShrinkStats* stats) {
+  CaseInput cur = std::move(failing);
+  index_t attempts = 0;
+  index_t accepted = 0;
+
+  // Repairs + validates + re-runs one candidate; adopts it when it still
+  // fails. Returns true exactly on adoption (strict progress).
+  auto try_adopt = [&](CaseInput cand) -> bool {
+    if (attempts >= max_attempts) return false;
+    if (prop.rebuild) {
+      prop.rebuild(cand);
+    } else {
+      default_rebuild(cand);
+    }
+    if (cand == cur) return false;
+    if (prop.valid && !prop.valid(cand)) return false;
+    ++attempts;
+    if (!still_fails(cand)) return false;
+    cur = std::move(cand);
+    ++accepted;
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && attempts < max_attempts) {
+    progress = false;
+
+    // 1. Halve the primary sequence (keep the first half).
+    if (const size_t psize = primary_size(cur); psize >= 2) {
+      std::vector<char> keep(psize, 1);
+      for (size_t i = (psize + 1) / 2; i < psize; ++i) keep[i] = 0;
+      if (try_adopt(drop_elements(cur, keep))) {
+        progress = true;
+        continue;
+      }
+    }
+
+    // 2. Delta-debugging chunk drops: remove aligned chunks of shrinking
+    // width (down to single elements).
+    {
+      const size_t psize = primary_size(cur);
+      bool dropped = false;
+      for (size_t chunk = psize / 2; chunk >= 1 && !dropped;
+           chunk = chunk / 2) {
+        for (size_t start = 0; start < psize; start += chunk) {
+          std::vector<char> keep(psize, 1);
+          const size_t end = std::min(start + chunk, psize);
+          for (size_t i = start; i < end; ++i) keep[i] = 0;
+          if (try_adopt(drop_elements(cur, keep))) {
+            dropped = true;
+            break;
+          }
+        }
+        if (chunk == 1) break;
+      }
+      if (dropped) {
+        progress = true;
+        continue;
+      }
+    }
+
+    // 3. Scalar parameters: n (for instances whose size is not the key
+    // count, e.g. broadcast rects and PRAM processor counts), step counts,
+    // ranks, and the algorithm seed.
+    {
+      CaseInput cand = cur;
+      cand.n = cur.n / 2;
+      if (cand.n >= 1 && try_adopt(std::move(cand))) {
+        progress = true;
+        continue;
+      }
+      cand = cur;
+      cand.n = cur.n - 1;
+      if (cand.n >= 1 && try_adopt(std::move(cand))) {
+        progress = true;
+        continue;
+      }
+      if (cur.pram_steps > 1) {
+        cand = cur;
+        cand.pram_steps = cur.pram_steps / 2;
+        if (try_adopt(std::move(cand))) {
+          progress = true;
+          continue;
+        }
+      }
+      if (cur.k > 1) {
+        cand = cur;
+        cand.k = cur.k / 2;
+        if (try_adopt(std::move(cand))) {
+          progress = true;
+          continue;
+        }
+        cand = cur;
+        cand.k = 1;
+        if (try_adopt(std::move(cand))) {
+          progress = true;
+          continue;
+        }
+      }
+      if (cur.algo_seed != 0) {
+        cand = cur;
+        cand.algo_seed = 0;
+        if (try_adopt(std::move(cand))) {
+          progress = true;
+          continue;
+        }
+      }
+    }
+
+    // 4. Canonicalize: origin to (0, 0) via the rebuild hook (an identity
+    // transform whose repair moves the geometry), then key values to small
+    // ranks, then matrix values to 1.
+    {
+      if (try_adopt(cur)) {  // rebuild canonicalizes the geometry
+        progress = true;
+        continue;
+      }
+      if (!cur.keys.empty() && try_adopt(canonicalize_keys(cur))) {
+        progress = true;
+        continue;
+      }
+      if (!cur.triples.empty()) {
+        CaseInput cand = cur;
+        for (auto& t : cand.triples) t.value = 1.0;
+        if (try_adopt(std::move(cand))) {
+          progress = true;
+          continue;
+        }
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->attempts = attempts;
+    stats->accepted = accepted;
+  }
+  return cur;
+}
+
+}  // namespace scm::testing

@@ -1,0 +1,48 @@
+// Greedy input minimization for failing fuzz cases.
+//
+// Given a failing CaseInput and a predicate that re-runs the case, the
+// shrinker repeatedly tries simplifying transformations — halving the
+// primary element sequence, dropping contiguous chunks (delta-debugging
+// style), shrinking scalar parameters (n, steps, rank, seed), moving the
+// grid origin to (0, 0), and canonicalizing values (rank-compressing keys
+// toward small integers) — keeping any candidate that is still a valid
+// instance (Property::valid) AND still fails. The result is the local
+// minimum reached within the attempt budget; the loop is deterministic,
+// so a shrunk input plus its replay token identifies the same minimal
+// failure everywhere.
+//
+// Structural candidates are repaired with Property::rebuild (or the
+// default repair) before validation, so geometry, ranks, and schedule
+// shapes always match the new size.
+#pragma once
+
+#include "testing/property.hpp"
+
+#include <functional>
+
+namespace scm::testing {
+
+/// Re-evaluates a candidate under the same checks that caught the original
+/// failure; true when the candidate still fails.
+using StillFails = std::function<bool(const CaseInput&)>;
+
+/// Shrink-loop accounting for reports.
+struct ShrinkStats {
+  index_t attempts{0};  ///< candidates evaluated (valid ones)
+  index_t accepted{0};  ///< candidates adopted (strict improvements)
+};
+
+/// The default structural repair used when Property::rebuild is null:
+/// truncates keys/flags to n (or n to the key count), clamps the rank k
+/// into [1, n], and rebuilds the canonical geometry of the same family at
+/// the origin.
+void default_rebuild(CaseInput& in);
+
+/// Greedily minimizes `failing` (which must currently fail) under
+/// `still_fails`, evaluating at most `max_attempts` candidates.
+[[nodiscard]] CaseInput shrink_case(const Property& prop, CaseInput failing,
+                                    const StillFails& still_fails,
+                                    index_t max_attempts = 400,
+                                    ShrinkStats* stats = nullptr);
+
+}  // namespace scm::testing

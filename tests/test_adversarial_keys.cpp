@@ -1,0 +1,148 @@
+// Adversarial key patterns for the comparison-based algorithms: negative
+// keys, heavy duplication, and all-equal arrays. Duplicates are the
+// classic failure mode of rank-based merging (ranks stop being unique),
+// and negative keys catch any accidental reliance on value arithmetic.
+#include "sort/bitonic.hpp"
+#include "sort/keyed.hpp"
+#include "sort/mergesort2d.hpp"
+#include "sort/rank_select_sorted.hpp"
+#include "spatial/grid_array.hpp"
+#include "spatial/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace scm {
+namespace {
+
+const std::vector<std::vector<std::int64_t>> kAdversarialInputs = {
+    {-5, -5, -5, -5, -5, -5, -5, -5},                  // all equal, negative
+    {0, 0, 0, 0},                                      // all equal, zero
+    {3, -1, 3, -1, 3, -1, 3, -1, 3, -1, 3, -1},        // two-value flip
+    {-9, 7, -9, 7, 0, 0, -9, 7, 0},                    // three values, mixed
+    {5, 4, 3, 2, 1, 0, -1, -2, -3, -4, -5},            // descending run
+    {std::numeric_limits<std::int64_t>::min() / 4,
+     std::numeric_limits<std::int64_t>::max() / 4, 0,
+     std::numeric_limits<std::int64_t>::min() / 4},    // extreme magnitudes
+    {1},                                               // singleton
+    {2, 2},                                            // duplicate pair
+};
+
+TEST(AdversarialKeys, BitonicSortsEveryPattern) {
+  for (const auto& input : kAdversarialInputs) {
+    Machine m;
+    const auto arr = GridArray<std::int64_t>::from_values_square({0, 0}, input);
+    const GridArray<std::int64_t> sorted =
+        bitonic_sort_any(m, arr, std::less<>{});
+    std::vector<std::int64_t> want = input;
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(sorted.values(), want);
+  }
+}
+
+TEST(AdversarialKeys, Mergesort2dSortsEveryPattern) {
+  for (const auto& input : kAdversarialInputs) {
+    Machine m;
+    const auto arr = GridArray<std::int64_t>::from_values_square({0, 0}, input);
+    const GridArray<std::int64_t> sorted = mergesort2d(m, arr);
+    std::vector<std::int64_t> want = input;
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(sorted.values(), want);
+  }
+}
+
+TEST(AdversarialKeys, Mergesort2dIsStableUnderDuplicates) {
+  // Sort (key, original index) pairs by key only; within each duplicate
+  // key the original order must survive. Exercises the id-tagged total
+  // order end to end.
+  const std::vector<std::int64_t> keys = {2, 1, 2, 1, 2, 1, 2, 1,
+                                          0, 0, 2, 1, 0, 2, 0, 1};
+  std::vector<WithId<std::int64_t>> tagged(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    tagged[i] = WithId<std::int64_t>{keys[i], static_cast<index_t>(i)};
+  }
+  Machine m;
+  const auto arr =
+      GridArray<WithId<std::int64_t>>::from_values_square({0, 0}, tagged);
+  const auto sorted = mergesort2d(
+      m, arr, [](const WithId<std::int64_t>& a,
+                 const WithId<std::int64_t>& b) { return a.value < b.value; });
+  std::vector<WithId<std::int64_t>> want = tagged;
+  std::stable_sort(want.begin(), want.end(),
+                   [](const WithId<std::int64_t>& a,
+                      const WithId<std::int64_t>& b) {
+                     return a.value < b.value;
+                   });
+  EXPECT_EQ(sorted.values(), want);
+}
+
+/// Runs rank_select_two_sorted on the concatenation keys = A || B (A the
+/// first `na` elements, both halves pre-sorted by the caller) for every
+/// rank k, and checks each split against a host two-pointer merge.
+void check_rank_select_all_ranks(const std::vector<std::int64_t>& keys,
+                                 index_t na) {
+  const auto n = static_cast<index_t>(keys.size());
+  const index_t nb = n - na;
+  using E = WithId<std::int64_t>;
+  std::vector<E> a_vals(static_cast<size_t>(na));
+  std::vector<E> b_vals(static_cast<size_t>(nb));
+  for (index_t i = 0; i < na; ++i) {
+    a_vals[static_cast<size_t>(i)] = E{keys[static_cast<size_t>(i)], i};
+  }
+  for (index_t i = 0; i < nb; ++i) {
+    b_vals[static_cast<size_t>(i)] = E{keys[static_cast<size_t>(na + i)],
+                                       na + i};
+  }
+  const TotalLess<std::less<std::int64_t>> less{};
+  const index_t side_a = square_side_for(na);
+  for (index_t k = 0; k <= n; ++k) {
+    Machine m;
+    const auto a = GridArray<E>::from_values_square({0, 0}, a_vals);
+    const auto b =
+        GridArray<E>::from_values_square({0, side_a + 1}, b_vals);
+    const SplitResult split = rank_select_two_sorted(m, a, b, k, {0, 0}, less);
+    index_t want_a = 0;
+    index_t ia = 0;
+    index_t ib = 0;
+    for (index_t taken = 0; taken < k; ++taken) {
+      const bool from_a =
+          ib >= nb || (ia < na && less(a_vals[static_cast<size_t>(ia)],
+                                       b_vals[static_cast<size_t>(ib)]));
+      if (from_a) {
+        ++ia;
+        ++want_a;
+      } else {
+        ++ib;
+      }
+    }
+    EXPECT_EQ(split.a_count, want_a) << "k=" << k << " na=" << na;
+    EXPECT_EQ(split.b_count, k - want_a) << "k=" << k << " na=" << na;
+  }
+}
+
+TEST(AdversarialKeys, RankSelectAllEqualKeys) {
+  check_rank_select_all_ranks(std::vector<std::int64_t>(24, 7), 11);
+}
+
+TEST(AdversarialKeys, RankSelectDuplicateHeavyNegativeKeys) {
+  std::vector<std::int64_t> keys = {-3, -3, -3, 0, 0, 2,  2,  2, 2,
+                                    -3, -3, 0,  0, 2, 2, -3, 0, 2};
+  const index_t na = 9;
+  std::sort(keys.begin(), keys.begin() + na);
+  std::sort(keys.begin() + na, keys.end());
+  check_rank_select_all_ranks(keys, na);
+}
+
+TEST(AdversarialKeys, RankSelectEmptySideAndEdgeRanks) {
+  // One empty array: every rank must come from the other side.
+  check_rank_select_all_ranks({1, 1, 2, 2, 3, 3}, 0);
+  check_rank_select_all_ranks({1, 1, 2, 2, 3, 3}, 6);
+}
+
+}  // namespace
+}  // namespace scm

@@ -103,6 +103,75 @@ TEST(GridArray, CoordCacheMatchesComputedCoords) {
   }
 }
 
+TEST(GridArray, EmptyArrayOnAnyRegion) {
+  // n == 0 never decodes a layout position, so even degenerate and
+  // non-power-of-two regions are legal in every layout.
+  const GridArray<int> degenerate(Rect{0, 0, 0, 0}, Layout::kZOrder, 0);
+  EXPECT_TRUE(degenerate.empty());
+  EXPECT_EQ(degenerate.size(), 0);
+  EXPECT_TRUE(degenerate.coords().empty());
+
+  const GridArray<int> rect(Rect{5, -3, 3, 7}, Layout::kZOrder, 0);
+  EXPECT_TRUE(rect.coords().empty());
+
+  const GridArray<int> canonical = GridArray<int>::on_square({4, 4}, 0);
+  EXPECT_TRUE(canonical.empty());
+  EXPECT_EQ(canonical.region(), (Rect{4, 4, 1, 1}));
+  EXPECT_EQ(canonical.max_clock(), Clock{});
+}
+
+TEST(GridArray, SingleElementArray) {
+  const GridArray<int> z = GridArray<int>::from_values_square({2, 3}, {41});
+  EXPECT_EQ(z.size(), 1);
+  EXPECT_EQ(z.region(), (Rect{2, 3, 1, 1}));
+  EXPECT_EQ(z.coord(0), (Coord{2, 3}));
+  ASSERT_EQ(z.coords().size(), 1u);
+  EXPECT_EQ(z.coords()[0], (Coord{2, 3}));
+  EXPECT_EQ(z.values(), std::vector<int>{41});
+
+  // A 1 x n row-major line holding one element at a non-zero offset.
+  const GridArray<int> line(Rect{0, 0, 1, 8}, Layout::kRowMajor, 1, 5);
+  EXPECT_EQ(line.coord(0), (Coord{0, 5}));
+}
+
+TEST(GridArray, RoutePermutationOfEmptyAndSingleton) {
+  Machine m;
+  const GridArray<int> none(Rect{0, 0, 2, 2}, Layout::kZOrder, 0);
+  const GridArray<int> routed_none =
+      route_permutation(m, none, Rect{1, 1, 4, 4}, Layout::kRowMajor);
+  EXPECT_TRUE(routed_none.empty());
+  EXPECT_EQ(m.metrics().messages, 0);
+  EXPECT_EQ(m.metrics().energy, 0);
+
+  const GridArray<int> one = GridArray<int>::from_values_square({0, 0}, {9});
+  const GridArray<int> routed_one =
+      route_permutation(m, one, Rect{0, 3, 1, 1}, Layout::kRowMajor);
+  EXPECT_EQ(routed_one.values(), std::vector<int>{9});
+  EXPECT_EQ(routed_one.coord(0), (Coord{0, 3}));
+  EXPECT_EQ(m.metrics().messages, 1);
+  EXPECT_EQ(m.metrics().energy, 3);  // Manhattan distance (0,0) -> (0,3)
+}
+
+TEST(GridArray, SendElementsEmptyBatchIsFree) {
+  Machine m;
+  const GridArray<int> src = GridArray<int>::from_values_square({0, 0}, {1});
+  GridArray<int> dst(Rect{0, 2, 1, 1}, Layout::kRowMajor, 1);
+  const std::vector<std::pair<index_t, index_t>> no_moves;
+  send_elements(m, src, dst, std::span(no_moves));
+  EXPECT_EQ(m.metrics(), Metrics{});
+}
+
+TEST(GridArray, SendElementsSingleMove) {
+  Machine m;
+  const GridArray<int> src = GridArray<int>::from_values_square({0, 0}, {7});
+  GridArray<int> dst(Rect{2, 0, 1, 1}, Layout::kRowMajor, 1);
+  const std::vector<std::pair<index_t, index_t>> moves = {{0, 0}};
+  send_elements(m, src, dst, std::span(moves));
+  EXPECT_EQ(dst[0].value, 7);
+  EXPECT_EQ(m.metrics().messages, 1);
+  EXPECT_EQ(m.metrics().energy, 2);
+}
+
 TEST(GridArray, MaxClockJoinsAllElements) {
   GridArray<int> a(Rect{0, 0, 2, 2}, Layout::kRowMajor, 4);
   a[2].clock = Clock{5, 17};
