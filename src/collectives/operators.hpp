@@ -2,7 +2,16 @@
 // operator wrapper of Section IV-C ("Segmented Scan"): for any associative
 // operator one can define a segmented operator with the segment logic built
 // in [Blelloch; Reif], so the same scan algorithm runs segmented scans.
+//
+// Each operator carries an OpTraits annotation of its algebraic laws.
+// The batch-independence checker (spatial/independence.hpp) consumes the
+// commutativity flag: same-destination fan-in inside one send_bulk batch
+// is a write-write race unless delivery order is immaterial, which
+// CommutativeDeliveryScope<Op> (below) asserts with a compile-time check
+// against the annotation.
 #pragma once
+
+#include "spatial/independence.hpp"
 
 #include <algorithm>
 
@@ -63,6 +72,74 @@ struct SegOp {
     if (b.head) return Seg<T>{b.value, true};
     return Seg<T>{op(a.value, b.value), a.head};
   }
+};
+
+/// Algebraic annotations of an operator. The primary template declares
+/// nothing (both laws false) so an unannotated custom operator never
+/// silently qualifies for an exemption; specialize it alongside the
+/// operator definition.
+template <class Op>
+struct OpTraits {
+  static constexpr bool associative = false;
+  static constexpr bool commutative = false;
+};
+
+template <>
+struct OpTraits<Plus> {
+  static constexpr bool associative = true;
+  static constexpr bool commutative = true;
+};
+
+template <>
+struct OpTraits<Min> {
+  static constexpr bool associative = true;
+  static constexpr bool commutative = true;
+};
+
+template <>
+struct OpTraits<Max> {
+  static constexpr bool associative = true;
+  static constexpr bool commutative = true;
+};
+
+/// First is associative (keeping the leftmost survives regrouping) but
+/// NOT commutative: First(a, b) != First(b, a).
+template <>
+struct OpTraits<First> {
+  static constexpr bool associative = true;
+  static constexpr bool commutative = false;
+};
+
+/// The segmented wrapper inherits associativity from the wrapped operator
+/// but is never commutative: swapping operands moves the segment
+/// boundary, so SegOp<Plus>(a, b) != SegOp<Plus>(b, a) whenever b.head.
+template <class Op>
+struct OpTraits<SegOp<Op>> {
+  static constexpr bool associative = OpTraits<Op>::associative;
+  static constexpr bool commutative = false;
+};
+
+template <class Op>
+inline constexpr bool is_associative_v = OpTraits<Op>::associative;
+
+template <class Op>
+inline constexpr bool is_commutative_v = OpTraits<Op>::commutative;
+
+/// Compile-time checked form of ScopedUnorderedDelivery: declares that
+/// same-destination fan-in in the enclosed batches is combined with `Op`,
+/// whose commutativity (per OpTraits) makes delivery order immaterial.
+/// Instantiating it for a non-commutative operator (First, any SegOp) is
+/// a compile error, so the exemption cannot be claimed by accident.
+template <class Op>
+class CommutativeDeliveryScope : public ScopedUnorderedDelivery {
+  static_assert(is_commutative_v<Op>,
+                "CommutativeDeliveryScope requires an operator annotated "
+                "commutative via OpTraits; non-commutative reductions must "
+                "order their fan-in (or split the batch)");
+
+ public:
+  explicit CommutativeDeliveryScope(const char* reason)
+      : ScopedUnorderedDelivery(reason) {}
 };
 
 }  // namespace scm

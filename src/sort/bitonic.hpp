@@ -77,7 +77,8 @@ void compare_exchange_round(Machine& m, GridArray<T>& a,
                                     at[static_cast<size_t>(p.lo)], 0,
                                     a[p.hi].clock, Clock{}};
   }
-  m.send_bulk(batch);
+  m.send_bulk(batch);  // bulk-ok: caller's per-step phase scope attributes
+  // bulk-ok: same round, same caller-held scope
   m.op_bulk(static_cast<index_t>(2 * pairs.size()));
   Clock round_max{};
   for (size_t k = 0; k < pairs.size(); ++k) {

@@ -22,6 +22,7 @@
 #include "collectives/broadcast.hpp"
 #include "sort/rank_select_sorted.hpp"
 #include "spatial/grid_array.hpp"
+#include "spatial/independence.hpp"
 #include "spatial/machine.hpp"
 
 #include <algorithm>
@@ -94,7 +95,17 @@ GridArray<T> merge_base(Machine& m, const std::vector<const GridArray<T>*>& in,
       all.push_back(Gathered{(*arr)[i].value, Clock{}});
     }
   }
-  m.send_bulk(batch);
+  {
+    // Up to base_size distinct words converge on the corner processor in
+    // one batch. Delivery order is immaterial: the local stable sort
+    // below re-orders the whole gathered set under a strict total order
+    // before anything depends on it, so the fan-in is declared order-free
+    // to the batch-independence checker rather than split into n rounds.
+    ScopedUnorderedDelivery gather_fan_in(
+        "merge2d/base gather: distinct words re-ordered by the local sort "
+        "under a strict total order");
+    m.send_bulk(batch);
+  }
   Clock ready{};
   for (size_t k = 0; k < batch.size(); ++k) {
     all[k].clock = batch[k].arrival;
@@ -143,7 +154,7 @@ void route_split(Machine& m, const GridArray<T>& src, index_t first,
     batch[static_cast<size_t>(i)] = MessageEvent{
         from, out_at[static_cast<size_t>(dst_i + i)], 0, clock, Clock{}};
   }
-  m.send_bulk(batch);
+  m.send_bulk(batch);  // bulk-ok: caller holds the merge2d phase scope
   for (index_t i = 0; i < count; ++i) {
     out[dst_i + i] = Cell<T>{src[first + i].value,
                              batch[static_cast<size_t>(i)].arrival};

@@ -146,12 +146,13 @@ class GridArray {
   /// checker) see the placement explicitly.
   void announce(Machine& m) const {
     if (empty()) return;
+    // bulk-ok: coords() is a span over this array's own cached storage
     const std::span<const Coord> at = coords();
     std::vector<BirthEvent> batch(cells_.size());
     for (size_t i = 0; i < cells_.size(); ++i) {
       batch[i] = BirthEvent{at[i], cells_[i].clock};
     }
-    m.birth_bulk(batch);
+    m.birth_bulk(batch);  // bulk-ok: attributed to the caller's phase
   }
 
   /// Announces every element as retired (Machine::death): the array's
@@ -159,7 +160,7 @@ class GridArray {
   /// a conformance violation until a new value arrives there.
   void retire(Machine& m) const {
     if (empty()) return;
-    m.death_bulk(coords());
+    m.death_bulk(coords());  // bulk-ok: attributed to the caller's phase
   }
 
  private:
@@ -202,7 +203,7 @@ void send_elements(Machine& m, const GridArray<T>& src, GridArray<T>& dst,
     batch[k] = MessageEvent{src.coord(i), dst.coord(j), 0, cell.clock, {}};
     values[k] = cell.value;
   }
-  m.send_bulk(batch);
+  m.send_bulk(batch);  // bulk-ok: caller holds the phase scope
   for (size_t k = 0; k < moves.size(); ++k) {
     dst[moves[k].second] = Cell<T>{std::move(values[k]), batch[k].arrival};
   }
@@ -230,7 +231,7 @@ GridArray<T> route_permutation(Machine& m, const GridArray<T>& src,
         MessageEvent{from[static_cast<size_t>(i)], to[static_cast<size_t>(j)],
                      0, src[i].clock, Clock{}};
   }
-  m.send_bulk(batch);
+  m.send_bulk(batch);  // bulk-ok: caller holds the phase scope
   for (index_t i = 0; i < src.size(); ++i) {
     const index_t j = perm.empty() ? i : perm[static_cast<size_t>(i)];
     dst[j] = Cell<T>{src[i].value, batch[static_cast<size_t>(i)].arrival};

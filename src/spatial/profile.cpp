@@ -84,9 +84,26 @@ index_t Profiler::WitnessChain::total_distance() const {
   return sum;
 }
 
+namespace {
+
+/// The embedded checker reports through the JSON artifact, never aborts:
+/// a --profile run under SCM_STRICT_MODEL still produces its report (the
+/// harness/fuzzer checkers own the abort-on-violation policy).
+IndependenceChecker::Config embedded_independence_config() {
+  IndependenceChecker::Config config;
+  config.strict = false;
+  return config;
+}
+
+}  // namespace
+
 Profiler::Profiler(Options options) : options_(options) {
   nodes_.push_back(PhaseNode{});
   if (options_.load_map) load_map_ = std::make_unique<LoadMap>();
+  if (options_.independence) {
+    independence_ =
+        std::make_unique<IndependenceChecker>(embedded_independence_config());
+  }
 }
 
 std::uint32_t Profiler::child_of(std::uint32_t parent, PhaseId id) {
@@ -122,9 +139,11 @@ void Profiler::on_send(const MessageEvent& e) {
     record_witness(WitnessEvent{e.from, e.to, e.distance, e.payload,
                                 e.arrival, cur_, /*is_birth=*/false});
   }
+  if (independence_ != nullptr) independence_->on_send(e);
 }
 
 void Profiler::on_send_bulk(std::span<const MessageEvent> batch) {
+  if (independence_ != nullptr) independence_->on_send_bulk(batch);
   index_t energy = 0;
   index_t messages = 0;
   Clock max{};
@@ -166,6 +185,7 @@ void Profiler::on_birth(Coord at, Clock c) {
     record_witness(
         WitnessEvent{at, at, 0, c, c, cur_, /*is_birth=*/true});
   }
+  if (independence_ != nullptr) independence_->on_birth(at, c);
 }
 
 void Profiler::on_birth_bulk(std::span<const BirthEvent> batch) {
@@ -180,6 +200,15 @@ void Profiler::on_birth_bulk(std::span<const BirthEvent> batch) {
     }
   }
   totals_.max_clock = Clock::join(totals_.max_clock, max);
+  if (independence_ != nullptr) independence_->on_birth_bulk(batch);
+}
+
+void Profiler::on_death(Coord at) {
+  if (independence_ != nullptr) independence_->on_death(at);
+}
+
+void Profiler::on_death_bulk(std::span<const Coord> batch) {
+  if (independence_ != nullptr) independence_->on_death_bulk(batch);
 }
 
 void Profiler::record_witness(const WitnessEvent& e) {
@@ -193,9 +222,11 @@ void Profiler::on_phase_enter(PhaseId id) {
   stack_.push_back(id);
   cur_ = child_of(cur_, id);
   scopes_.push_back(ScopeEvent{true, id, ticks_, totals_.energy});
+  if (independence_ != nullptr) independence_->on_phase_enter(id);
 }
 
 void Profiler::on_phase_exit(PhaseId id) {
+  if (independence_ != nullptr) independence_->on_phase_exit(id);
   if (stack_.empty()) return;  // imbalance is the checker's to report
   stack_.pop_back();
   cur_ = nodes_[cur_].parent;
@@ -216,15 +247,27 @@ void Profiler::clear() {
   first_depth_.clear();
   first_distance_.clear();
   if (load_map_ != nullptr) load_map_->clear();
+  if (independence_ != nullptr) {
+    // An exported artifact describes the run since the last reset, so the
+    // independence record restarts too; the surviving phase stack is
+    // replayed into the fresh checker below.
+    independence_ =
+        std::make_unique<IndependenceChecker>(embedded_independence_config());
+  }
   // Like Machine::reset, open PhaseScopes keep attributing: rebuild the
   // spine of the surviving phase stack at tick 0.
   for (const PhaseId id : stack_) {
     cur_ = child_of(cur_, id);
     scopes_.push_back(ScopeEvent{true, id, 0, 0});
+    if (independence_ != nullptr) independence_->on_phase_enter(id);
   }
 }
 
 const LoadMap* Profiler::load_map() const { return load_map_.get(); }
+
+const IndependenceChecker* Profiler::independence() const {
+  return independence_.get();
+}
 
 std::vector<std::string> Profiler::phase_path(std::uint32_t node) const {
   std::vector<std::string> names;
@@ -480,6 +523,37 @@ std::string Profiler::json_report() const {
       os << "{\"at\":";
       append_coord(os, spots[i].first);
       os << ",\"load\":" << spots[i].second << '}';
+    }
+    os << ']';
+  }
+  os << '}';
+
+  os << ",\n\"independence\":{\"enabled\":"
+     << (independence_ != nullptr ? "true" : "false");
+  if (independence_ != nullptr) {
+    const IndependenceReport& rep = independence_->report();
+    os << ",\"ok\":" << (rep.ok() ? "true" : "false") << ",\"conflicts\":{"
+       << "\"total\":" << rep.violations.size() << ",\"write_write\":"
+       << rep.count(IndependenceViolationKind::kWriteWriteConflict)
+       << ",\"read_write\":"
+       << rep.count(IndependenceViolationKind::kReadWriteHazard)
+       << ",\"aliasing\":"
+       << rep.count(IndependenceViolationKind::kGatherScatterAliasing)
+       << "},\"batches\":" << rep.batches
+       << ",\"bulk_messages\":" << rep.bulk_messages
+       << ",\"exempted_batches\":" << rep.exempted_batches
+       << ",\"max_fan_in\":" << rep.max_fan_in << ",\"phases\":[";
+    bool first = true;
+    for (const auto& [name, fp] : rep.per_phase) {
+      if (!first) os << ',';
+      first = false;
+      os << "\n{\"name\":\"" << json_escape(name)
+         << "\",\"batches\":" << fp.batches
+         << ",\"bulk_messages\":" << fp.bulk_messages
+         << ",\"max_batch\":" << fp.max_batch
+         << ",\"max_fan_in\":" << fp.max_fan_in
+         << ",\"exempted_batches\":" << fp.exempted_batches
+         << ",\"conflicts\":" << fp.conflicts << '}';
     }
     os << ']';
   }

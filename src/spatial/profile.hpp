@@ -46,6 +46,7 @@
 
 #include "spatial/clock.hpp"
 #include "spatial/geometry.hpp"
+#include "spatial/independence.hpp"
 #include "spatial/metrics.hpp"
 #include "spatial/phase.hpp"
 #include "spatial/trace.hpp"
@@ -83,7 +84,9 @@ class Profiler final : public TraceSink {
  public:
   /// Version of the machine-readable run-report schema emitted by
   /// json_report(). Bump on any breaking change to field names/meaning.
-  static constexpr int kSchemaVersion = 1;
+  /// v2: added the "independence" section (batch-independence conflict
+  /// counts and per-phase batch footprints).
+  static constexpr int kSchemaVersion = 2;
 
   struct Options {
     /// Record per-value witness events so critical_path() can reconstruct
@@ -96,6 +99,14 @@ class Profiler final : public TraceSink {
     /// run report includes a congestion summary. Costs O(distance) per
     /// message; off by default.
     bool load_map{false};
+
+    /// Run an embedded IndependenceChecker (always non-strict: findings
+    /// land in the report, never abort) and export its conflict counts
+    /// and per-phase batch footprints as the run report's "independence"
+    /// section, so CI can assert zero conflicts from artifacts. Costs one
+    /// O(batch) degree-map pass per bulk event; on by default because
+    /// every standard --profile artifact should carry the verdict.
+    bool independence{true};
   };
 
   Profiler() : Profiler(Options{}) {}
@@ -167,6 +178,10 @@ class Profiler final : public TraceSink {
   void on_op(index_t n) override;
   void on_birth(Coord at, Clock c) override;
   void on_birth_bulk(std::span<const BirthEvent> batch) override;
+  /// Deaths carry no cost; forwarded to the embedded independence checker
+  /// (its read-write-hazard rule tracks retired cells).
+  void on_death(Coord at) override;
+  void on_death_bulk(std::span<const Coord> batch) override;
   void on_phase_enter(PhaseId id) override;
   void on_phase_exit(PhaseId id) override;
   void on_reset() override;
@@ -191,6 +206,10 @@ class Profiler final : public TraceSink {
 
   /// The internal congestion map; nullptr unless Options::load_map.
   [[nodiscard]] const LoadMap* load_map() const;
+
+  /// The embedded batch-independence checker; nullptr when
+  /// Options::independence was off.
+  [[nodiscard]] const IndependenceChecker* independence() const;
 
   /// Human-readable phase tree (self/total energy, messages, ops, and
   /// distance p50/max per node).
@@ -255,6 +274,7 @@ class Profiler final : public TraceSink {
   std::unordered_map<index_t, std::uint32_t> first_distance_;
 
   std::unique_ptr<LoadMap> load_map_;
+  std::unique_ptr<IndependenceChecker> independence_;
 };
 
 }  // namespace scm

@@ -121,6 +121,37 @@ class TraceSink {
   virtual void on_reset() {}
 };
 
+/// Forwards every event to an ordered list of sinks, so several observers
+/// (e.g. the conformance checker and the batch-independence checker the
+/// test harness attaches together) can share one Machine::set_trace /
+/// set_global_trace slot. Bulk events are forwarded as bulk events — NOT
+/// replayed per message — so each child sees exactly the stream it would
+/// see if attached directly. Sinks are not owned; nullptr entries are
+/// skipped.
+class FanoutSink final : public TraceSink {
+ public:
+  FanoutSink() = default;
+  explicit FanoutSink(std::vector<TraceSink*> sinks);
+
+  /// Appends a sink (ignored when nullptr).
+  void add(TraceSink* sink);
+
+  void on_message(Coord from, Coord to, index_t distance) override;
+  void on_send(const MessageEvent& e) override;
+  void on_send_bulk(std::span<const MessageEvent> batch) override;
+  void on_op(index_t n) override;
+  void on_birth(Coord at, Clock c) override;
+  void on_birth_bulk(std::span<const BirthEvent> batch) override;
+  void on_death(Coord at) override;
+  void on_death_bulk(std::span<const Coord> batch) override;
+  void on_phase_enter(PhaseId id) override;
+  void on_phase_exit(PhaseId id) override;
+  void on_reset() override;
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
 /// Accumulates per-processor traffic by routing every message along the
 /// dimension-ordered Manhattan path (rows first, then columns), counting
 /// one unit of load at every processor the message transits (endpoints

@@ -405,6 +405,15 @@ Property make_permute() {
     CaseOutcome out;
     out.size = in.n;
     const GridArray<std::int64_t> a = make_keys_array(in);
+    if (inject_bulk_overlap() && in.n >= 2) {
+      // Deliberate write-write conflict: two charged members of one batch
+      // share a destination, outside any unordered-delivery scope. The
+      // independence oracle must flag this before any other oracle runs.
+      std::vector<MessageEvent> bad(2);
+      bad[0] = MessageEvent{a.coord(0), a.coord(1), 0, Clock{}, Clock{}};
+      bad[1] = MessageEvent{a.coord(0), a.coord(1), 0, Clock{}, Clock{}};
+      m.send_bulk(bad);  // bulk-ok: test-only injection, unphased on purpose
+    }
     const GridArray<std::int64_t> routed = permute(m, a, in.perm);
     const std::vector<std::int64_t> got = routed.values();
     for (index_t i = 0; i < in.n; ++i) {
@@ -1260,5 +1269,13 @@ const Property* find_property(const std::string& name) {
   }
   return nullptr;
 }
+
+namespace {
+bool g_inject_bulk_overlap = false;
+}  // namespace
+
+void set_inject_bulk_overlap(bool on) { g_inject_bulk_overlap = on; }
+
+bool inject_bulk_overlap() { return g_inject_bulk_overlap; }
 
 }  // namespace scm::testing

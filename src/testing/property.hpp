@@ -112,4 +112,12 @@ struct Property {
 /// Default translation: shifts the geometry region by `delta`.
 [[nodiscard]] CaseInput translate_geometry(const CaseInput& in, Coord delta);
 
+/// Test-only fault injection: when enabled, the `permute` property issues
+/// one extra bulk batch whose two charged members share a destination — a
+/// deliberate write-write conflict the independence oracle must catch,
+/// shrink, and report with a replay token (tests/test_independence.cpp).
+/// Off by default; never enable outside tests.
+void set_inject_bulk_overlap(bool on);
+[[nodiscard]] bool inject_bulk_overlap();
+
 }  // namespace scm::testing

@@ -1,6 +1,7 @@
 #include "testing/runner.hpp"
 
 #include "spatial/bulk_ab.hpp"
+#include "spatial/independence.hpp"
 #include "spatial/validate.hpp"
 #include "testing/shrink.hpp"
 
@@ -31,18 +32,30 @@ ConformanceChecker::Config checker_config() {
   return config;
 }
 
-/// One traced execution: outcome, machine totals, conformance verdict.
+IndependenceChecker::Config independence_config() {
+  IndependenceChecker::Config config;
+  // Findings, not aborts — same policy as the conformance checker above.
+  config.strict = false;
+  return config;
+}
+
+/// One traced execution: outcome, machine totals, conformance and batch-
+/// independence verdicts.
 struct Execution {
   CaseOutcome outcome;
   Metrics metrics;
   bool conformance_ok{true};
   std::string conformance_report;
+  bool independence_ok{true};
+  std::string independence_report;
 };
 
 Execution execute(const Property& prop, const CaseInput& in) {
   Machine m;
   ConformanceChecker checker(checker_config());
-  m.set_trace(&checker);
+  IndependenceChecker independence(independence_config());
+  FanoutSink fanout(std::vector<TraceSink*>{&checker, &independence});
+  m.set_trace(&fanout);
   Execution result;
   // A bug in the code under test may surface as an exception (a broken
   // sort invariant turning a count negative, say) long before any oracle
@@ -63,6 +76,10 @@ Execution execute(const Property& prop, const CaseInput& in) {
   result.conformance_ok = checker.report().ok();
   if (!result.conformance_ok) {
     result.conformance_report = checker.report().str();
+  }
+  result.independence_ok = independence.report().ok();
+  if (!result.independence_ok) {
+    result.independence_report = independence.report().str();
   }
   return result;
 }
@@ -150,6 +167,9 @@ FuzzRunner::Verdict FuzzRunner::evaluate(const Property& prop,
   const Execution base = execute(prop, in);
   if (!base.conformance_ok) {
     return {false, "conformance", base.conformance_report};
+  }
+  if (!base.independence_ok) {
+    return {false, "independence", base.independence_report};
   }
   if (!base.outcome.ok) {
     return {false, "functional", base.outcome.failure};

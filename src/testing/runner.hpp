@@ -1,6 +1,6 @@
 // The fuzz loop: seeded case generation, execution under the conformance
-// checker, functional + cost oracles, metamorphic and bulk-A/B cadences,
-// replay, shrinking, and bound fitting.
+// and batch-independence checkers, functional + cost oracles, metamorphic
+// and bulk-A/B cadences, replay, shrinking, and bound fitting.
 //
 // Determinism contract: a run is fully determined by (master seed, case
 // index). Case `i` uses property `all_properties()[i % #props]` and the
@@ -42,8 +42,9 @@ struct FailureRecord {
   std::string property;
   index_t case_index{0};
   std::string replay_token;  ///< "<seed>:<case>"
-  std::string kind;    ///< "functional" / "conformance" / "bound:<metric>"
-                       ///< / "metamorphic:<variant>" / "bulk-ab"
+  std::string kind;    ///< "functional" / "conformance" / "independence"
+                       ///< / "bound:<metric>" / "metamorphic:<variant>"
+                       ///< / "bulk-ab"
   std::string detail;  ///< oracle-specific explanation
   CaseInput original;
   CaseInput shrunk;

@@ -1,11 +1,14 @@
-// Test entry point: every test runs with a ConformanceChecker attached as
-// the process-global trace sink, so all algorithm modules are exercised
-// under model enforcement. A test that produces any conformance violation
+// Test entry point: every test runs with a ConformanceChecker AND an
+// IndependenceChecker attached (through a FanoutSink) as the process-global
+// trace sink, so all algorithm modules are exercised under model
+// enforcement and every bulk round loop is mechanically proven race-free.
+// A test that produces any conformance or batch-independence violation
 // fails with the full report; setting the SCM_STRICT_MODEL environment
 // variable (no rebuild needed) upgrades that to an abort at the offending
 // send, with the message backtrace on stderr — the one-env-var local
-// reproduction of the CI strict-model job. Adversarial fixtures that
+// reproduction of the CI strict-model jobs. Adversarial fixtures that
 // violate the model on purpose opt out with ScopedGlobalTraceSuspension.
+#include "spatial/independence.hpp"
 #include "spatial/machine.hpp"
 #include "spatial/validate.hpp"
 
@@ -20,7 +23,10 @@ namespace {
 class ConformanceListener : public ::testing::EmptyTestEventListener {
   void OnTestStart(const ::testing::TestInfo& /*info*/) override {
     checker_ = std::make_unique<scm::ConformanceChecker>();
-    scm::Machine::set_global_trace(checker_.get());
+    independence_ = std::make_unique<scm::IndependenceChecker>();
+    fanout_ = std::make_unique<scm::FanoutSink>(
+        std::vector<scm::TraceSink*>{checker_.get(), independence_.get()});
+    scm::Machine::set_global_trace(fanout_.get());
   }
 
   void OnTestEnd(const ::testing::TestInfo& info) override {
@@ -32,16 +38,27 @@ class ConformanceListener : public ::testing::EmptyTestEventListener {
       ADD_FAILURE() << "Spatial Computer Model conformance violations:\n"
                     << report.str();
     }
+    const scm::IndependenceReport& indep = independence_->report();
+    if (!indep.ok()) {
+      ADD_FAILURE() << "Batch independence violations:\n" << indep.str();
+    }
     // SCM_CONFORMANCE_REPORT=1 prints one summary line per test (used to
-    // calibrate the default live-word cap against the observed peak).
+    // calibrate the default live-word cap against the observed peak, and
+    // to eyeball per-test batch footprints).
     if (std::getenv("SCM_CONFORMANCE_REPORT") != nullptr) {
       std::fprintf(stderr, "[conformance] %s.%s: %s", info.test_suite_name(),
                    info.name(), report.str().c_str());
+      std::fprintf(stderr, "[independence] %s.%s: %s",
+                   info.test_suite_name(), info.name(), indep.str().c_str());
     }
+    fanout_.reset();
+    independence_.reset();
     checker_.reset();
   }
 
   std::unique_ptr<scm::ConformanceChecker> checker_;
+  std::unique_ptr<scm::IndependenceChecker> independence_;
+  std::unique_ptr<scm::FanoutSink> fanout_;
 };
 
 }  // namespace

@@ -53,6 +53,21 @@ else
   echo "clang-format not found; skipping format check" >&2
 fi
 
+# --- bulk-discipline lint -------------------------------------------------
+if command -v python3 > /dev/null 2>&1; then
+  echo "== check_bulk_discipline.py (src)"
+  if ! python3 "$repo_root/tools/check_bulk_discipline.py" --self-test; then
+    echo "check_bulk_discipline: self-test failed" >&2
+    status=1
+  elif ! python3 "$repo_root/tools/check_bulk_discipline.py" src; then
+    echo "check_bulk_discipline: findings (see above; suppress a known-safe" \
+      "site with '// bulk-ok: <reason>')" >&2
+    status=1
+  fi
+else
+  echo "python3 not found; skipping bulk-discipline lint" >&2
+fi
+
 # --- clang-tidy -----------------------------------------------------------
 if tidy=$(find_tool clang-tidy); then
   if [ ! -f "$build_dir/compile_commands.json" ]; then
