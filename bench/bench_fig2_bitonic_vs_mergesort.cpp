@@ -35,6 +35,7 @@ void BM_Bitonic(benchmark::State& state) {
 BENCHMARK(BM_Bitonic)
     ->Arg(64)
     ->Arg(256)
+    ->Arg(512)
     ->Arg(1024)
     ->Arg(4096)
     ->Arg(16384)
@@ -107,8 +108,13 @@ void BM_Mergesort(benchmark::State& state) {
     bench::report(state, "mergesort", static_cast<double>(n), m.metrics());
   }
 }
+// The low end (64-512) covers the log-log fit range the cost
+// certificates and CI exponent check use; the high end pins the
+// asymptotic trend of the bitonic/mergesort ratios.
 BENCHMARK(BM_Mergesort)
+    ->Arg(64)
     ->Arg(256)
+    ->Arg(512)
     ->Arg(1024)
     ->Arg(4096)
     ->Arg(16384)

@@ -13,7 +13,9 @@
 //
 // Costs: O(n^{5/2}) energy, O(log n) depth, O(n) distance — low depth but
 // polynomially sub-optimal energy, which is why the merge machinery only
-// applies it to sqrt(n)-sized samples (Lemma V.6).
+// applies it to one O(sqrt n)-sized sample per merge node, shared across
+// the three split ranks by the Lemma V.6 multiselect (a window-sized
+// second application per rank once dominated the whole mergesort).
 //
 // The comparator must be a strict TOTAL order (distinct ranks); wrap
 // elements with WithId/TotalLess for duplicate keys. The scratch subgrid
@@ -57,6 +59,7 @@ void copy_array_to_blocks(Machine& m, const Rect& base, index_t block_side,
 
   const Rect src_rect = block_rect(group_first);
   const auto src = static_cast<size_t>(group_first);
+  std::vector<MessageEvent> batch(static_cast<size_t>(n));
   for (int q = 1; q < 4; ++q) {
     const index_t dst_block = group_first + q * quarter;
     if (dst_block >= live_blocks) break;
@@ -65,9 +68,17 @@ void copy_array_to_blocks(Machine& m, const Rect& base, index_t block_side,
     for (index_t j = 0; j < n; ++j) {
       const Coord from = zorder_coord(src_rect, j % src_rect.size());
       const Coord to = zorder_coord(dst_rect, j % dst_rect.size());
-      const Cell<T>& cell = copies[src][static_cast<size_t>(j)];
+      batch[static_cast<size_t>(j)] = MessageEvent{
+          from, to, 0, copies[src][static_cast<size_t>(j)].clock, Clock{}};
+    }
+    // One block-to-block array copy per batch: cell j of the source block
+    // feeds cell j of the (disjoint) destination block, so sources and
+    // destinations are pairwise distinct within the batch.
+    m.send_bulk(batch);  // bulk-ok: caller holds the phase scope
+    for (index_t j = 0; j < n; ++j) {
       copies[dst][static_cast<size_t>(j)] =
-          Cell<T>{cell.value, m.send(from, to, cell.clock)};
+          Cell<T>{copies[src][static_cast<size_t>(j)].value,
+                  batch[static_cast<size_t>(j)].arrival};
     }
   }
   for (int q = 0; q < 4; ++q) {
@@ -104,13 +115,22 @@ template <class T, class Less>
     return Rect{base.row0 + off.row * s, base.col0 + off.col * s, s, s};
   };
 
-  // Step 1: scatter A_i to the corner of block i.
+  // Step 1: scatter A_i to the corner of block i as one bulk batch —
+  // distinct elements head for distinct block corners, so the batch is
+  // self-independent. (Entry 0 is a zero-length message: A_0 already sits
+  // on block 0's corner.)
   std::vector<Cell<T>> at_corner(static_cast<size_t>(n));
-  for (index_t i = 0; i < n; ++i) {
-    const Cell<T>& cell = a[i];
-    at_corner[static_cast<size_t>(i)] =
-        Cell<T>{cell.value,
-                m.send(a.coord(i), block_rect(i).origin(), cell.clock)};
+  {
+    std::vector<MessageEvent> batch(static_cast<size_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+      batch[static_cast<size_t>(i)] = MessageEvent{
+          a.coord(i), block_rect(i).origin(), 0, a[i].clock, Clock{}};
+    }
+    m.send_bulk(batch);
+    for (index_t i = 0; i < n; ++i) {
+      at_corner[static_cast<size_t>(i)] =
+          Cell<T>{a[i].value, batch[static_cast<size_t>(i)].arrival};
+    }
   }
 
   // Step 2: broadcast A_i within block i.
@@ -128,8 +148,11 @@ template <class T, class Less>
   for (index_t j = 0; j < n; ++j) copies[0][static_cast<size_t>(j)] = a[j];
   detail::copy_array_to_blocks(m, base, s, 0, s * s, n, copies);
 
-  // Steps 4-5: compare locally, reduce the bits to A_i's rank.
+  // Step 4: compare locally (one op per processor of block i, charged as
+  // one bulk op event per block), reduce the bits to A_i's rank.
   GridArray<T> out = GridArray<T>::on_square(origin, n);
+  std::vector<index_t> ranks(static_cast<size_t>(n));
+  std::vector<Clock> ready(static_cast<size_t>(n));
 #ifndef NDEBUG
   std::vector<bool> taken(static_cast<size_t>(n), false);
 #endif
@@ -148,8 +171,8 @@ template <class T, class Less>
       bits[j] = Cell<index_t>{less(copy_j.value, self.value) ? index_t{1}
                                                              : index_t{0},
                               Clock::join(copy_j.clock, self.clock)};
-      m.op();
     }
+    m.op_bulk(n);
     const Cell<index_t> rank = reduce(m, bits, Plus{});
     assert(rank.value >= 0 && rank.value < n);
 #ifndef NDEBUG
@@ -157,12 +180,28 @@ template <class T, class Less>
            "allpairs_sort requires a strict total order (distinct ranks)");
     taken[static_cast<size_t>(rank.value)] = true;
 #endif
-    // Route A_i (resident at the block corner with the rank) to its sorted
-    // position in the output square.
-    const Cell<T>& elem = at_corner[static_cast<size_t>(i)];
-    const Clock ready = Clock::join(elem.clock, rank.clock);
-    out[rank.value] =
-        Cell<T>{elem.value, m.send(br.origin(), out.coord(rank.value), ready)};
+    ranks[static_cast<size_t>(i)] = rank.value;
+    ready[static_cast<size_t>(i)] =
+        Clock::join(at_corner[static_cast<size_t>(i)].clock, rank.clock);
+  }
+
+  // Step 5: route every A_i (resident at the corner of block i with its
+  // rank) to its sorted position, as one bulk batch — the ranks are a
+  // permutation under the strict total order, so the n block corners feed
+  // n distinct output cells.
+  {
+    std::vector<MessageEvent> batch(static_cast<size_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+      batch[static_cast<size_t>(i)] = MessageEvent{
+          block_rect(i).origin(), out.coord(ranks[static_cast<size_t>(i)]),
+          0, ready[static_cast<size_t>(i)], Clock{}};
+    }
+    m.send_bulk(batch);
+    for (index_t i = 0; i < n; ++i) {
+      out[ranks[static_cast<size_t>(i)]] =
+          Cell<T>{at_corner[static_cast<size_t>(i)].value,
+                  batch[static_cast<size_t>(i)].arrival};
+    }
   }
   return out;
 }

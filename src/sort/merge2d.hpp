@@ -2,9 +2,10 @@
 //
 // Merges two sorted arrays living on Z-order sub-ranges of a common parent
 // square into a sorted Z-order destination range:
-//   1. the rank n/4, n/2, and 3n/4 elements of A||B are found with the
-//      deterministic two-array rank selection (Lemma V.6), splitting A and
-//      B into four sub-array pairs;
+//   1. the rank n/4, n/2, and 3n/4 elements of A||B are found with one
+//      deterministic two-array multiselect (Lemma V.6; the three ranks
+//      share a single sample sort), splitting A and B into four sub-array
+//      pairs;
 //   2. the split decision is broadcast over the working area and every
 //      element is routed to its quadrant sub-range (a direct permutation);
 //   3. each quadrant pair is merged recursively;
@@ -14,7 +15,11 @@
 //
 // Costs (Lemma V.7): O(n^{3/2}) energy, O(log^2 n) depth, O(sqrt n)
 // distance — each recursion level moves every element O(sqrt(level size))
-// and the level diameters shrink geometrically.
+// and the level diameters shrink geometrically. The implementation
+// matches these shapes (the fitted certificates in testing/bounds.json
+// pin them); an earlier revision paid Θ(n²)-looking energy because each
+// merge node ran three full rank selections whose window All-Pairs-Sorts
+// dominated — see the multiselect note at step 1.
 //
 // `less` must be a strict TOTAL order (wrap with WithId/TotalLess).
 #pragma once
@@ -161,7 +166,13 @@ void route_split(Machine& m, const GridArray<T>& src, index_t first,
   }
 }
 
-constexpr index_t kMergeBaseSize = 32;
+// Base-case cutoff. 8 keeps the measured energy curve on Theorem V.8's
+// n^{3/2} shape from n ~ 48 up (larger bases make small instances
+// base-case-dominated and artificially cheap, which skews log-log fits
+// of the asymptotic shape), and parks at most 8 words on the base
+// gather's corner processor. The ablation bench (bench_ablation_tuning)
+// sweeps this knob.
+constexpr index_t kMergeBaseSize = 8;
 
 }  // namespace detail
 
@@ -215,15 +226,18 @@ template <class T, class Less>
     return out;
   }
 
-  // Step 1: split ranks n/4, n/2, 3n/4 (Fig. 3). The three selections are
-  // independent; their clocks join into the routing plan.
+  // Step 1: split ranks n/4, n/2, 3n/4 (Fig. 3), found with one
+  // deterministic multiselect so the three ranks share a single sample
+  // gather and sample sort (Lemma V.6) — three independent selections
+  // would each re-pay the dominant O(n^{5/4}) sample-sort term. Their
+  // clocks join into the routing plan.
   const Coord work = zorder_coord(region, dst_offset);
-  const index_t k1 = n / 4;
-  const index_t k2 = n / 2;
-  const index_t k3 = (3 * n) / 4;
-  const SplitResult s1 = rank_select_two_sorted(m, a, b, k1, work, less);
-  const SplitResult s2 = rank_select_two_sorted(m, a, b, k2, work, less);
-  const SplitResult s3 = rank_select_two_sorted(m, a, b, k3, work, less);
+  const index_t ks[3] = {n / 4, n / 2, (3 * n) / 4};
+  const std::vector<SplitResult> splits = multiselect_two_sorted(
+      m, a, b, std::span<const index_t>(ks), work, less);
+  const SplitResult& s1 = splits[0];
+  const SplitResult& s2 = splits[1];
+  const SplitResult& s3 = splits[2];
   assert(s1.a_count <= s2.a_count && s2.a_count <= s3.a_count);
   assert(s1.b_count <= s2.b_count && s2.b_count <= s3.b_count);
 

@@ -105,8 +105,9 @@ class ConformanceChecker final : public TraceSink {
     /// Largest number of live words one processor may accumulate within a
     /// single epoch. The paper's algorithms keep O(1) words per cell; the
     /// library's largest declared constant is the 2-D merge's
-    /// gather-sort-scatter base case (kMergeBaseSize = 32 words on the
-    /// corner processor), so the default leaves headroom over that while
+    /// gather-sort-scatter base case (kMergeBaseSize = 8 words on the
+    /// corner processor), so the default leaves generous headroom over
+    /// that (and over moderate MergeConfig::base_size ablations) while
     /// still catching a cell that hoards Θ(√n) words.
     index_t live_word_cap{48};
 

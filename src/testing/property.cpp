@@ -331,18 +331,21 @@ Property make_mergesort2d() {
     }
     const auto n = static_cast<double>(in.n);
     // Route distance from the input geometry to the canonical square at the
-    // same origin, plus the sort itself. Theorem V.8 claims Theta(n^{3/2})
-    // energy, but the implemented merge spends Theta(n^2) beyond the merge
-    // base size: rank-select All-Pairs-Sorts its sqrt(n)-spaced sample in
-    // place, so the sample's all-to-all traffic crosses the full parent
-    // square (measured e/n^2 flat at 16-22 for n in [48, 512], while
-    // e/n^{3/2} grows 120 -> 440). The certificate pins the implemented
-    // n^2 cost; tightening the sort back to the paper bound should come
-    // with a budget update here.
+    // same origin, plus the sort itself. The budget carries Theorem V.8's
+    // Theta(n^{3/2}) shape, which the implementation now achieves: measured
+    // e/n^{3/2} is flat (~9-11 for n in [48, 1024], a power-of-4
+    // quantization sawtooth with no trend) since the Lemma V.6 multiselect
+    // shares one sample All-Pairs-Sort across each merge node's three split
+    // ranks and the per-rank window is resolved by a walking binary search
+    // instead of a second All-Pairs-Sort. (An earlier revision paid three
+    // full rank selections per node whose window sorts fitted to n^1.96;
+    // its certificate pinned an n^2 budget term here.) The n * lg term
+    // absorbs the per-level routing/broadcast work of the deeper
+    // base-size-8 recursion at small n.
     const double d = static_cast<double>(in.geom.region.diameter()) +
                      2.0 * static_cast<double>(square_side_for(in.n));
     const double lg = log2ceil(in.n) + 1;
-    out.budgets = {{"energy", n * n + std::pow(n, 1.5) + n * (d + 1) + n},
+    out.budgets = {{"energy", std::pow(n, 1.5) + n * lg + n * (d + 1) + n},
                    {"depth", lg * lg * lg + 4},
                    {"distance", d + 4 * static_cast<double>(
                                         square_side_for(in.n)) + 4}};
@@ -926,12 +929,15 @@ Property make_rank_select_two_sorted() {
       out.failure = os.str();
       return out;
     }
-    // Lemma V.6 claims O(n^{5/4}) energy; the implementation measures at
-    // Theta(n^{3/2}) (e/n^{3/2} flat at 19-21 for n in [64, 1024]) because
-    // the sqrt(n)-sized sample is All-Pairs-Sorted in place across the
-    // sqrt(n)-wide array span. Depth and distance match the lemma.
+    // Lemma V.6's O(n^{5/4}) energy, which the implementation now meets:
+    // the window around the sample pivot is resolved by a walking binary
+    // search (O(sqrt(n) log n)) instead of a window All-Pairs-Sort, so the
+    // only super-linear term left is the O(sqrt n)-sized sample's own
+    // All-Pairs-Sort. (The earlier window sort pushed the measured shape
+    // to Theta(n^{3/2}); this budget used to pin that.) The linear term
+    // covers the sample gather; the constant absorbs tiny-n setup.
     const auto n = static_cast<double>(in.n);
-    out.budgets = {{"energy", std::pow(n, 1.5) + n + 16},
+    out.budgets = {{"energy", std::pow(n, 1.25) + n + 16},
                    {"depth", log2ceil(in.n) + 2},
                    {"distance", 8 * (std::sqrt(n) + 1)}};
     return out;
@@ -1001,13 +1007,13 @@ Property make_spmv() {
     out.size = s;
     const auto sd = static_cast<double>(s);
     const double lg = log2ceil(s) + 2;
-    // Theorem VIII.2 claims O(m^{3/2}) energy, O(log^3 n) depth, O(sqrt m)
-    // distance in the combined matrix + vector size. The energy budget uses
-    // s^2 instead: the cost is dominated by the two triple mergesorts,
-    // which (see the mergesort2d budget note) currently run at Theta(n^2)
-    // beyond the merge base size. Measured e/s^2 sits at 24-41 across
-    // s in [40, 320] while e/s^{3/2} grows 6 -> 730.
-    out.budgets = {{"energy", sd * sd + std::pow(sd, 1.5) + 4 * sd},
+    // Theorem VIII.2: O(m^{3/2}) energy, O(log^3 n) depth, O(sqrt m)
+    // distance in the combined matrix + vector size. The cost is dominated
+    // by the two triple mergesorts, which now run at the Theorem V.8 shape
+    // (see the mergesort2d budget note — an s^2 term used to pin the old
+    // quadratic merge here); the s * lg term tracks the sort's per-level
+    // routing work at small s.
+    out.budgets = {{"energy", std::pow(sd, 1.5) + sd * lg + 4 * sd},
                    {"depth", lg * lg * lg + 8},
                    {"distance", 4 * (std::sqrt(sd) + 1) * lg}};
     return out;
@@ -1059,17 +1065,17 @@ Property make_components() {
     }
     // O(m^{3/2} + R (m + n sqrt m)) energy with the run's actual round
     // count R (using the graph diameter would false-fail high-diameter
-    // random graphs). The s^2 term covers the two arc mergesorts, which
-    // are paid once outside the round loop and currently run at
-    // Theta(n^2) past the merge base size (see the mergesort2d budget
-    // note).
+    // random graphs). The s^{3/2} + s * lg terms cover the two arc
+    // mergesorts, paid once outside the round loop, at the Theorem V.8
+    // shape the merge now achieves (an s^2 term used to pin the old
+    // quadratic merge here — see the mergesort2d budget note).
     const auto s = static_cast<double>(
         2 * static_cast<index_t>(in.edges.size()) + in.n_vertices);
     out.size = static_cast<index_t>(s);
     const auto rounds = static_cast<double>(result.rounds);
     const double lg = log2ceil(static_cast<index_t>(s)) + 2;
     out.budgets = {
-        {"energy", s * s + std::pow(s, 1.5) +
+        {"energy", std::pow(s, 1.5) + s * lg +
                        (rounds + 1) * (s + static_cast<double>(in.n_vertices) *
                                                (std::sqrt(s) + 1)) +
                        s},
