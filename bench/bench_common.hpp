@@ -21,6 +21,7 @@
 // docs/OBSERVABILITY.md.
 #pragma once
 
+#include "spatial/congestion.hpp"
 #include "spatial/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/profile_session.hpp"
@@ -30,8 +31,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <string>
+#include <vector>
 
 namespace scm::bench {
 
@@ -95,6 +98,42 @@ inline void report(benchmark::State& state, const std::string& series,
   state.counters["distance"] = static_cast<double>(m.distance());
   state.counters["messages"] = static_cast<double>(m.messages);
   Registry::instance().add(series, n, m);
+}
+
+/// Publishes a per-iteration congestion-sink measurement (diagnostic
+/// metrics, strictly outside the paper's three) as counters and custom
+/// series values, so ratio tables and power-law fits can compare
+/// algorithms on congestion robustness.
+inline void report_congestion(benchmark::State& state,
+                              const std::string& series, double n,
+                              const CongestionMap& cm) {
+  state.counters["peak_link_load"] =
+      static_cast<double>(cm.max_link_load());
+  state.counters["congested_clock"] =
+      static_cast<double>(cm.congested_clock());
+  Registry::instance().add_value(series, n, "peak_link_load",
+                                 static_cast<double>(cm.max_link_load()));
+  Registry::instance().add_value(
+      series, n, "congested_clock",
+      static_cast<double>(cm.congested_clock()));
+}
+
+/// Fits and prints the power-law shape of a custom congestion metric of
+/// one series (no claim attached: the paper makes no statement about
+/// congestion, so the fitted exponent is reported, not judged).
+inline void print_congestion_fit(const std::string& series,
+                                 const std::string& metric) {
+  const auto& samples = Registry::instance().series(series);
+  if (!series_has_extra(samples, metric)) return;
+  std::vector<double> ns;
+  std::vector<double> ys;
+  for (const Sample& s : samples) {
+    ns.push_back(s.n);
+    ys.push_back(sample_value(s, metric));
+  }
+  const util::PowerFit fit = util::fit_power_law(ns, ys);
+  std::printf("  %s %s fitted %s\n", series.c_str(), metric.c_str(),
+              util::describe_power(fit).c_str());
 }
 
 }  // namespace scm::bench

@@ -7,10 +7,18 @@
 // series: who wins on each metric, by what factor, and how the factor
 // trends with n (the energy ratio must grow ~ log n; the depth ratio must
 // favour bitonic).
+//
+// Congestion robustness rides along: the head-to-head pair (BM_Bitonic /
+// BM_Mergesort) runs with a per-iteration CongestionMap attached, so the
+// peak-link-load and congested-clock series compare how the two sorters
+// concentrate traffic on single links — the placement-quality signal the
+// SCM's distance-only pricing cannot see. Fitted series are recorded in
+// BENCH_simulator.json.
 #include "bench_common.hpp"
 
 #include "sort/bitonic.hpp"
 #include "sort/mergesort2d.hpp"
+#include "spatial/congestion.hpp"
 #include "spatial/rng.hpp"
 
 #include <benchmark/benchmark.h>
@@ -25,11 +33,16 @@ void BM_Bitonic(benchmark::State& state) {
   const auto v = random_doubles(17, static_cast<size_t>(n));
   for (auto _ : state) {
     Machine m;
+    CongestionMap congestion;
+    m.set_trace(&congestion);
     auto a = GridArray<double>::from_values_square({0, 0}, v,
                                                    Layout::kRowMajor);
     bitonic_sort(m, a, std::less<double>{});
+    m.set_trace(nullptr);
     benchmark::DoNotOptimize(a);
     bench::report(state, "bitonic", static_cast<double>(n), m.metrics());
+    bench::report_congestion(state, "bitonic", static_cast<double>(n),
+                             congestion);
   }
 }
 BENCHMARK(BM_Bitonic)
@@ -102,10 +115,15 @@ void BM_Mergesort(benchmark::State& state) {
   const auto v = random_doubles(17, static_cast<size_t>(n));
   for (auto _ : state) {
     Machine m;
+    CongestionMap congestion;
+    m.set_trace(&congestion);
     auto a = GridArray<double>::from_values_square({0, 0}, v,
                                                    Layout::kRowMajor);
     benchmark::DoNotOptimize(mergesort2d(m, a));
+    m.set_trace(nullptr);
     bench::report(state, "mergesort", static_cast<double>(n), m.metrics());
+    bench::report_congestion(state, "mergesort", static_cast<double>(n),
+                             congestion);
   }
 }
 // The low end (64-512) covers the log-log fit range the cost
@@ -162,5 +180,19 @@ int main(int argc, char** argv) {
       "Distance ratio bitonic / mergesort (paper: bitonic is "
       "distance-suboptimal by ~ log n)",
       "bitonic", "mergesort", "distance");
+  scm::bench::print_ratio(
+      "Peak link load ratio bitonic / mergesort (congestion robustness — "
+      "diagnostic, outside the paper's three metrics)",
+      "bitonic", "mergesort", "peak_link_load");
+  scm::bench::print_ratio(
+      "Congested clock ratio bitonic / mergesort (sum of per-phase peak "
+      "link loads — diagnostic)",
+      "bitonic", "mergesort", "congested_clock");
+  std::printf("\n== Congestion growth fits (recorded in "
+              "BENCH_simulator.json) ==\n");
+  scm::bench::print_congestion_fit("bitonic", "peak_link_load");
+  scm::bench::print_congestion_fit("mergesort", "peak_link_load");
+  scm::bench::print_congestion_fit("bitonic", "congested_clock");
+  scm::bench::print_congestion_fit("mergesort", "congested_clock");
   return 0;
 }

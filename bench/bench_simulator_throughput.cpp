@@ -144,6 +144,22 @@ void BM_DeepRecursiveProfiled(benchmark::State& state) {
 }
 BENCHMARK(BM_DeepRecursiveProfiled)->Arg(16)->Arg(64);
 
+// The congestion-sink tax on the common single-scope shape: the
+// standalone CongestionMap routes every message (O(distance) per event —
+// distance 1 here, so this measures its fixed per-message cost).
+// Acceptance: <= 2x slower than BM_SinglePhase, matching the profiler's
+// bar in BENCH_simulator.json.
+void BM_SinglePhaseCongestion(benchmark::State& state) {
+  Machine m;
+  CongestionMap congestion;
+  m.set_trace(&congestion);
+  m.begin_phase("leaf");
+  measure(state, m);
+  m.end_phase();
+  m.set_trace(nullptr);
+}
+BENCHMARK(BM_SinglePhaseCongestion);
+
 // Tree profiler + critical-path witness recorder: adds the per-event
 // witness append + two hash try_emplaces. This is the opt-in worst case
 // (--profile with witness on).
@@ -234,6 +250,19 @@ void BM_BulkSinglePhaseProfiled(benchmark::State& state) {
   m.set_trace(nullptr);
 }
 BENCHMARK(BM_BulkSinglePhaseProfiled);
+
+// Congestion sink on the bulk path: one on_send_bulk dispatch per 4096
+// messages, each still routed link-by-link.
+void BM_BulkSinglePhaseCongestion(benchmark::State& state) {
+  Machine m;
+  CongestionMap congestion;
+  m.set_trace(&congestion);
+  m.begin_phase("leaf");
+  measure_bulk(state, m);
+  m.end_phase();
+  m.set_trace(nullptr);
+}
+BENCHMARK(BM_BulkSinglePhaseCongestion);
 
 // End-to-end routing through the whole stack (GridArray coordinate cache,
 // send_bulk, per-phase attribution): one Z-order -> row-major

@@ -1,5 +1,6 @@
 #include "spatial/bulk_ab.hpp"
 
+#include "spatial/trace.hpp"
 #include "spatial/validate.hpp"
 
 #include <sstream>
@@ -13,13 +14,20 @@ AbRun run_one(const std::function<void(Machine&)>& algorithm, bool bulk) {
   ConformanceChecker::Config config;
   config.strict = false;  // mismatches must surface as AbResult, not abort
   ConformanceChecker checker(config);
+  // The scalar run feeds the congestion map per-message replays; the bulk
+  // run exercises its batched on_send_bulk. sorted_links() then compares
+  // the two decompositions link by link.
+  CongestionMap congestion;
+  FanoutSink fanout({&checker, &congestion});
   Machine m;
-  m.set_trace(&checker);
+  m.set_trace(&fanout);
   algorithm(m);
   checker.verify(m);
   AbRun run;
   run.totals = m.metrics();
   run.phases = m.phases();
+  run.links = congestion.sorted_links();
+  run.congested_clock = congestion.congested_clock();
   run.conformance_ok = checker.report().ok();
   if (!run.conformance_ok) run.conformance_report = checker.report().str();
   return run;
@@ -62,6 +70,46 @@ std::string AbResult::diff() const {
       }
     }
   }
+  if (!links_equal) {
+    if (scalar.congested_clock != bulk.congested_clock) {
+      os << "  congested clock: scalar " << scalar.congested_clock
+         << " vs bulk " << bulk.congested_clock << '\n';
+    }
+    std::size_t reported = 0;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while ((i < scalar.links.size() || j < bulk.links.size()) &&
+           reported < 8) {
+      const bool take_scalar =
+          j >= bulk.links.size() ||
+          (i < scalar.links.size() &&
+           scalar.links[i].first < bulk.links[j].first);
+      const bool take_bulk =
+          i >= scalar.links.size() ||
+          (j < bulk.links.size() &&
+           bulk.links[j].first < scalar.links[i].first);
+      if (take_scalar) {
+        os << "  link " << scalar.links[i].first.str()
+           << ": scalar only (load " << scalar.links[i].second << ")\n";
+        ++i;
+        ++reported;
+      } else if (take_bulk) {
+        os << "  link " << bulk.links[j].first.str()
+           << ": bulk only (load " << bulk.links[j].second << ")\n";
+        ++j;
+        ++reported;
+      } else {
+        if (scalar.links[i].second != bulk.links[j].second) {
+          os << "  link " << scalar.links[i].first.str() << ": scalar "
+             << scalar.links[i].second << " vs bulk "
+             << bulk.links[j].second << '\n';
+          ++reported;
+        }
+        ++i;
+        ++j;
+      }
+    }
+  }
   if (!scalar.conformance_ok) {
     os << "  scalar run not conformant:\n" << scalar.conformance_report;
   }
@@ -77,6 +125,9 @@ AbResult run_ab(const std::function<void(Machine&)>& algorithm) {
   result.bulk = run_one(algorithm, /*bulk=*/true);
   result.totals_equal = result.scalar.totals == result.bulk.totals;
   result.phases_equal = result.scalar.phases == result.bulk.phases;
+  result.links_equal =
+      result.scalar.links == result.bulk.links &&
+      result.scalar.congested_clock == result.bulk.congested_clock;
   return result;
 }
 

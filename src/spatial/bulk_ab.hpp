@@ -6,17 +6,22 @@
 // harness makes that contract testable: run_ab executes an algorithm twice
 // on fresh Machines — once with bulk charging disabled (every *_bulk call
 // decomposes into scalar events; the reference) and once with the bulk
-// fast path enabled — each under its own ConformanceChecker, and compares
-// the two runs field by field. tests/test_bulk_equivalence.cpp drives every
+// fast path enabled — each under its own ConformanceChecker plus a
+// CongestionMap (so the batched on_send_bulk link decomposition is proven
+// byte-identical to the scalar replay, link by link), and compares the two
+// runs field by field. tests/test_bulk_equivalence.cpp drives every
 // Table-1 algorithm through it.
 #pragma once
 
+#include "spatial/congestion.hpp"
 #include "spatial/machine.hpp"
 #include "spatial/metrics.hpp"
 
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace scm {
 
@@ -39,6 +44,11 @@ class ScopedBulkCharging {
 struct AbRun {
   Metrics totals{};
   std::map<std::string, Metrics> phases;
+  /// Canonical per-link occupancy (CongestionMap::sorted_links) — the
+  /// scalar run records the per-message replay, the bulk run the batched
+  /// on_send_bulk decomposition.
+  std::vector<std::pair<Link, index_t>> links;
+  index_t congested_clock{0};
   bool conformance_ok{false};
   std::string conformance_report;  ///< empty when clean
 };
@@ -49,12 +59,13 @@ struct AbResult {
   AbRun bulk;
   bool totals_equal{false};
   bool phases_equal{false};
+  bool links_equal{false};  ///< per-link occupancy + congested clock
 
-  /// True when totals and per-phase records match exactly and both runs
-  /// were conformance-clean.
+  /// True when totals, per-phase records, and per-link occupancy match
+  /// exactly and both runs were conformance-clean.
   [[nodiscard]] bool ok() const {
-    return totals_equal && phases_equal && scalar.conformance_ok &&
-           bulk.conformance_ok;
+    return totals_equal && phases_equal && links_equal &&
+           scalar.conformance_ok && bulk.conformance_ok;
   }
 
   /// Multi-line description of every mismatch; empty when ok().

@@ -1,0 +1,348 @@
+#include "spatial/congestion.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace scm {
+
+namespace {
+
+/// Direction codes of LinkKey::dir; dimension-ordered routing only ever
+/// emits row steps (up/down) before column steps (left/right).
+enum : std::uint8_t { kUp = 0, kDown = 1, kLeft = 2, kRight = 3 };
+
+std::string phase_label(PhaseId id) {
+  return id == kNoPhase ? std::string("<top>")
+                        : PhaseRegistry::instance().name(id);
+}
+
+}  // namespace
+
+std::string Link::str() const {
+  std::ostringstream os;
+  os << '[' << from.row << ',' << from.col << "]->[" << to.row << ','
+     << to.col << ']';
+  return os.str();
+}
+
+Link CongestionMap::link_of(LinkKey key) {
+  Coord from{key.row, key.col};
+  Coord to = from;
+  switch (key.dir) {
+    case kUp: to.row -= 1; break;
+    case kDown: to.row += 1; break;
+    case kLeft: to.col -= 1; break;
+    default: to.col += 1; break;
+  }
+  return Link{from, to};
+}
+
+CongestionMap::Bucket& CongestionMap::current_bucket() {
+  if (cached_bucket_ != nullptr) return *cached_bucket_;
+  const PhaseId id = bucket();
+  const auto [it, inserted] = phases_.try_emplace(id);
+  if (inserted) phase_order_.push_back(id);
+  cached_bucket_ = &it->second;
+  return *cached_bucket_;
+}
+
+void CongestionMap::bump(LinkKey key) {
+  index_t& slot = load_[key];
+  ++slot;
+  ++total_;
+  max_link_load_ = std::max(max_link_load_, slot);
+
+  Bucket& b = current_bucket();
+  index_t& bslot = b.load[key];
+  ++bslot;
+  ++b.occupancy;
+  if (bslot > b.peak) {
+    // The congested clock is the sum of bucket peaks; maintain it
+    // incrementally as each bucket's peak rises.
+    congested_clock_ += bslot - b.peak;
+    b.peak = bslot;
+  }
+}
+
+void CongestionMap::route(Coord from, Coord to) {
+  // Dimension-ordered routing, matching LoadMap: rows first, then
+  // columns. One directed link per unit step, so a message of Manhattan
+  // distance d contributes exactly d units of occupancy.
+  Coord cur = from;
+  const std::uint8_t row_dir = to.row > cur.row ? kDown : kUp;
+  const index_t row_step = to.row > cur.row ? 1 : -1;
+  while (cur.row != to.row) {
+    bump(LinkKey{cur.row, cur.col, row_dir});
+    cur.row += row_step;
+  }
+  const std::uint8_t col_dir = to.col > cur.col ? kRight : kLeft;
+  const index_t col_step = to.col > cur.col ? 1 : -1;
+  while (cur.col != to.col) {
+    bump(LinkKey{cur.row, cur.col, col_dir});
+    cur.col += col_step;
+  }
+}
+
+void CongestionMap::on_message(Coord from, Coord to, index_t distance) {
+  assert(distance == manhattan(from, to));
+  (void)distance;
+  ++messages_;
+  ++ticks_;
+  route(from, to);
+}
+
+void CongestionMap::on_send_bulk(std::span<const MessageEvent> batch) {
+  for (const MessageEvent& e : batch) {
+    if (e.distance == 0) continue;
+    ++messages_;
+    ++ticks_;
+    route(e.from, e.to);
+  }
+}
+
+void CongestionMap::record_sample() {
+  // Counter tracks render step changes; consecutive identical samples
+  // add nothing, so phase-transition storms with no traffic stay cheap.
+  if (!samples_.empty() &&
+      samples_.back().max_link_load == max_link_load_ &&
+      samples_.back().congested_clock == congested_clock_) {
+    return;
+  }
+  samples_.push_back(CounterSample{ticks_, max_link_load_, congested_clock_});
+}
+
+void CongestionMap::on_phase_enter(PhaseId id) {
+  record_sample();
+  stack_.push_back(id);
+  cached_bucket_ = nullptr;
+}
+
+void CongestionMap::on_phase_exit(PhaseId id) {
+  (void)id;
+  if (stack_.empty()) return;  // imbalance is the checker's to report
+  record_sample();
+  stack_.pop_back();
+  cached_bucket_ = nullptr;
+}
+
+void CongestionMap::on_reset() { clear(); }
+
+void CongestionMap::clear() {
+  load_.clear();
+  total_ = 0;
+  messages_ = 0;
+  max_link_load_ = 0;
+  congested_clock_ = 0;
+  ticks_ = 0;
+  phases_.clear();
+  phase_order_.clear();
+  cached_bucket_ = nullptr;
+  samples_.clear();
+  // stack_ deliberately survives: open PhaseScopes keep attributing
+  // across Machine::reset, exactly like the Profiler.
+}
+
+index_t CongestionMap::occupancy(Link link) const {
+  std::uint8_t dir = 0;
+  const index_t dr = link.to.row - link.from.row;
+  const index_t dc = link.to.col - link.from.col;
+  if (dr == -1 && dc == 0) {
+    dir = kUp;
+  } else if (dr == 1 && dc == 0) {
+    dir = kDown;
+  } else if (dr == 0 && dc == -1) {
+    dir = kLeft;
+  } else if (dr == 0 && dc == 1) {
+    dir = kRight;
+  } else {
+    return 0;  // not a unit link
+  }
+  const auto it = load_.find(LinkKey{link.from.row, link.from.col, dir});
+  return it == load_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<Link, index_t>> CongestionMap::hotspot_links(
+    std::size_t k) const {
+  std::vector<std::pair<Link, index_t>> all;
+  all.reserve(load_.size());
+  for (const auto& [key, count] : load_) {
+    all.push_back({link_of(key), count});
+  }
+  k = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
+                    all.end(), [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  all.resize(k);
+  return all;
+}
+
+index_t CongestionMap::percentile(double p) const {
+  if (load_.empty()) return 0;
+  std::vector<index_t> loads;
+  loads.reserve(load_.size());
+  for (const auto& [key, count] : load_) loads.push_back(count);
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest occupancy l such that at least
+  // ceil(p% * n) touched links carry <= l.
+  const auto rank = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(p / 100.0 * static_cast<double>(loads.size()))));
+  auto nth = loads.begin() + static_cast<std::ptrdiff_t>(rank - 1);
+  std::nth_element(loads.begin(), nth, loads.end());
+  return *nth;
+}
+
+std::vector<std::pair<Link, index_t>> CongestionMap::sorted_links() const {
+  std::vector<std::pair<Link, index_t>> all;
+  all.reserve(load_.size());
+  for (const auto& [key, count] : load_) {
+    all.push_back({link_of(key), count});
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  return all;
+}
+
+std::vector<index_t> CongestionMap::occupancy_multiset() const {
+  std::vector<index_t> values;
+  values.reserve(load_.size());
+  for (const auto& [key, count] : load_) values.push_back(count);
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+std::vector<CongestionMap::PhaseCongestion> CongestionMap::phase_congestion()
+    const {
+  std::vector<PhaseCongestion> out;
+  out.reserve(phase_order_.size());
+  for (const PhaseId id : phase_order_) {
+    const Bucket& b = phases_.at(id);
+    out.push_back(PhaseCongestion{id, b.occupancy,
+                                  static_cast<index_t>(b.load.size()),
+                                  b.peak});
+  }
+  return out;
+}
+
+index_t CongestionMap::phase_peak(PhaseId id) const {
+  const auto it = phases_.find(id);
+  return it == phases_.end() ? 0 : it->second.peak;
+}
+
+std::string CongestionMap::ascii_report(std::size_t hotspots) const {
+  std::ostringstream os;
+  os << "link congestion (dimension-ordered routing, directed unit links)\n";
+  os << "  messages " << messages_ << ", occupancy " << total_
+     << " (= total Manhattan distance), links " << links() << "\n";
+  os << "  max link load " << max_link_load_ << ", p50 " << percentile(50.0)
+     << ", p95 " << percentile(95.0) << ", p99 " << percentile(99.0)
+     << ", congested clock " << congested_clock_ << "\n";
+  const auto spots = hotspot_links(hotspots);
+  if (!spots.empty()) {
+    os << "  hotspot links:\n";
+    for (const auto& [link, count] : spots) {
+      os << "    " << link.str() << "  " << count << "\n";
+    }
+  }
+  const auto phases = phase_congestion();
+  if (!phases.empty()) {
+    os << "  phases (innermost attribution; congested clock = sum of "
+          "peaks):\n";
+    for (const PhaseCongestion& pc : phases) {
+      const double mean =
+          pc.links == 0 ? 0.0
+                        : static_cast<double>(pc.occupancy) /
+                              static_cast<double>(pc.links);
+      std::string label = phase_label(pc.phase);
+      if (label.size() > 30) label.resize(30);
+      os << "    " << label;
+      for (std::size_t i = label.size(); i < 32; ++i) os << ' ';
+      os << "peak " << pc.peak << ", links " << pc.links << ", mean "
+         << static_cast<index_t>(mean * 100.0 + 0.5) / 100.0
+         << ", occupancy " << pc.occupancy << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string CongestionMap::heatmap(index_t max_side) const {
+  if (load_.empty()) return "(no traffic)\n";
+  static const char kLevels[] = " .:-=+*#%@";
+  // Bounding box of touched link source cells, derived here rather than
+  // maintained per hop — exporting is cold, bump() is the hot path.
+  index_t min_row = 0;
+  index_t max_row = -1;
+  index_t min_col = 0;
+  index_t max_col = -1;
+  for (const auto& [key, count] : load_) {
+    if (max_row < min_row) {
+      min_row = max_row = key.row;
+      min_col = max_col = key.col;
+    } else {
+      min_row = std::min(min_row, key.row);
+      max_row = std::max(max_row, key.row);
+      min_col = std::min(min_col, key.col);
+      max_col = std::max(max_col, key.col);
+    }
+  }
+  // Per-cell pressure: the maximum occupancy over the directed links
+  // leaving the cell, downsampled like LoadMap::heatmap.
+  const index_t rows = max_row - min_row + 1;
+  const index_t cols = max_col - min_col + 1;
+  const index_t bucket =
+      std::max<index_t>(1, (std::max(rows, cols) + max_side - 1) / max_side);
+  const index_t out_rows = (rows + bucket - 1) / bucket;
+  const index_t out_cols = (cols + bucket - 1) / bucket;
+
+  std::vector<index_t> grid(static_cast<size_t>(out_rows * out_cols), 0);
+  for (const auto& [key, count] : load_) {
+    const index_t r = (key.row - min_row) / bucket;
+    const index_t c = (key.col - min_col) / bucket;
+    index_t& slot = grid[static_cast<size_t>(r * out_cols + c)];
+    slot = std::max(slot, count);
+  }
+  index_t peak = 1;
+  for (index_t v : grid) peak = std::max(peak, v);
+
+  std::ostringstream os;
+  os << "link heatmap (" << rows << "x" << cols
+     << " cells, max outgoing-link load, bucket " << bucket << "x" << bucket
+     << ", peak " << peak << ")\n";
+  for (index_t r = 0; r < out_rows; ++r) {
+    for (index_t c = 0; c < out_cols; ++c) {
+      const index_t v = grid[static_cast<size_t>(r * out_cols + c)];
+      const auto idx = static_cast<std::size_t>(
+          (static_cast<double>(v) / static_cast<double>(peak)) * 9.0);
+      os << kLevels[std::min<std::size_t>(idx, 9)];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string CongestionMap::chrome_counter_json() const {
+  // One "C" (counter) event per recorded sample over the same virtual
+  // tick axis the Profiler's phase trace uses (1 us = 1 charged event),
+  // plus a closing sample so the track always reaches the final tick.
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"scm simulated run\"}}";
+  const auto emit = [&os](const CounterSample& s) {
+    os << ",\n{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":" << s.tick
+       << ",\"name\":\"link congestion\",\"args\":{\"max_link_load\":"
+       << s.max_link_load << ",\"congested_clock\":" << s.congested_clock
+       << "}}";
+  };
+  for (const CounterSample& s : samples_) emit(s);
+  emit(CounterSample{ticks_, max_link_load_, congested_clock_});
+  os << "\n]}\n";
+  return os.str();
+}
+
+}  // namespace scm

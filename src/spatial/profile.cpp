@@ -100,6 +100,7 @@ IndependenceChecker::Config embedded_independence_config() {
 Profiler::Profiler(Options options) : options_(options) {
   nodes_.push_back(PhaseNode{});
   if (options_.load_map) load_map_ = std::make_unique<LoadMap>();
+  if (options_.congestion) congestion_ = std::make_unique<CongestionMap>();
   if (options_.independence) {
     independence_ =
         std::make_unique<IndependenceChecker>(embedded_independence_config());
@@ -124,6 +125,7 @@ std::uint32_t Profiler::child_of(std::uint32_t parent, PhaseId id) {
 
 void Profiler::on_message(Coord from, Coord to, index_t distance) {
   if (load_map_ != nullptr) load_map_->on_message(from, to, distance);
+  if (congestion_ != nullptr) congestion_->on_message(from, to, distance);
 }
 
 void Profiler::on_send(const MessageEvent& e) {
@@ -144,6 +146,7 @@ void Profiler::on_send(const MessageEvent& e) {
 
 void Profiler::on_send_bulk(std::span<const MessageEvent> batch) {
   if (independence_ != nullptr) independence_->on_send_bulk(batch);
+  if (congestion_ != nullptr) congestion_->on_send_bulk(batch);
   index_t energy = 0;
   index_t messages = 0;
   Clock max{};
@@ -219,18 +222,30 @@ void Profiler::record_witness(const WitnessEvent& e) {
 }
 
 void Profiler::on_phase_enter(PhaseId id) {
+  if (congestion_ != nullptr) congestion_->on_phase_enter(id);
   stack_.push_back(id);
   cur_ = child_of(cur_, id);
-  scopes_.push_back(ScopeEvent{true, id, ticks_, totals_.energy});
+  ScopeEvent s{true, id, ticks_, totals_.energy};
+  if (congestion_ != nullptr) {
+    s.max_link_load = congestion_->max_link_load();
+    s.congested_clock = congestion_->congested_clock();
+  }
+  scopes_.push_back(s);
   if (independence_ != nullptr) independence_->on_phase_enter(id);
 }
 
 void Profiler::on_phase_exit(PhaseId id) {
   if (independence_ != nullptr) independence_->on_phase_exit(id);
+  if (congestion_ != nullptr) congestion_->on_phase_exit(id);
   if (stack_.empty()) return;  // imbalance is the checker's to report
   stack_.pop_back();
   cur_ = nodes_[cur_].parent;
-  scopes_.push_back(ScopeEvent{false, id, ticks_, totals_.energy});
+  ScopeEvent s{false, id, ticks_, totals_.energy};
+  if (congestion_ != nullptr) {
+    s.max_link_load = congestion_->max_link_load();
+    s.congested_clock = congestion_->congested_clock();
+  }
+  scopes_.push_back(s);
 }
 
 void Profiler::on_reset() { clear(); }
@@ -247,6 +262,10 @@ void Profiler::clear() {
   first_depth_.clear();
   first_distance_.clear();
   if (load_map_ != nullptr) load_map_->clear();
+  // CongestionMap::clear preserves its own mirrored phase stack (it sees
+  // every enter/exit we forward), so no replay below — replaying would
+  // double-enter the surviving scopes.
+  if (congestion_ != nullptr) congestion_->clear();
   if (independence_ != nullptr) {
     // An exported artifact describes the run since the last reset, so the
     // independence record restarts too; the surviving phase stack is
@@ -264,6 +283,10 @@ void Profiler::clear() {
 }
 
 const LoadMap* Profiler::load_map() const { return load_map_.get(); }
+
+const CongestionMap* Profiler::congestion() const {
+  return congestion_.get();
+}
 
 const IndependenceChecker* Profiler::independence() const {
   return independence_.get();
@@ -389,12 +412,30 @@ std::string Profiler::chrome_trace_json() const {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
         "\"args\":{\"name\":\"scm simulated run\"}}";
+  // When the congestion map is embedded, a "link congestion" counter
+  // track rides the same tick axis: one "C" event per phase transition
+  // (deduplicated when the counters did not move) plus a closing sample.
+  index_t last_load = 0;
+  index_t last_clock = 0;
+  bool sampled = false;
+  const auto counter = [&](std::uint64_t tick, index_t load,
+                           index_t clock) {
+    if (congestion_ == nullptr) return;
+    if (sampled && load == last_load && clock == last_clock) return;
+    sampled = true;
+    last_load = load;
+    last_clock = clock;
+    os << ",\n{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":" << tick
+       << ",\"name\":\"link congestion\",\"args\":{\"max_link_load\":"
+       << load << ",\"congested_clock\":" << clock << "}}";
+  };
   std::int64_t open = 0;
   for (const ScopeEvent& s : scopes_) {
     os << ",\n{\"ph\":\"" << (s.enter ? 'B' : 'E') << "\",\"pid\":0,"
        << "\"tid\":0,\"ts\":" << s.tick << ",\"name\":\""
        << json_escape(phase_name(s.phase)) << "\",\"cat\":\"phase\","
        << "\"args\":{\"energy\":" << s.energy << "}}";
+    counter(s.tick, s.max_link_load, s.congested_clock);
     open += s.enter ? 1 : -1;
   }
   assert(open == static_cast<std::int64_t>(stack_.size()));
@@ -404,6 +445,11 @@ std::string Profiler::chrome_trace_json() const {
        << ",\"name\":\"" << json_escape(phase_name(stack_[i]))
        << "\",\"cat\":\"phase\",\"args\":{\"energy\":" << totals_.energy
        << "}}";
+  }
+  if (congestion_ != nullptr) {
+    sampled = false;  // always close the track at the final tick
+    counter(ticks_, congestion_->max_link_load(),
+            congestion_->congested_clock());
   }
   os << "\n]}\n";
   return os.str();
@@ -523,6 +569,49 @@ std::string Profiler::json_report() const {
       os << "{\"at\":";
       append_coord(os, spots[i].first);
       os << ",\"load\":" << spots[i].second << '}';
+    }
+    os << ']';
+  }
+  os << '}';
+
+  os << ",\n\"congestion\":{\"enabled\":"
+     << (congestion_ != nullptr ? "true" : "false");
+  if (congestion_ != nullptr) {
+    const CongestionMap& cm = *congestion_;
+    // Invariant CI asserts from artifacts: total_occupancy equals
+    // totals.energy (every message of Manhattan distance d crosses
+    // exactly d links), and congested_clock >= max_link_load.
+    os << ",\"messages\":" << cm.messages()
+       << ",\"links\":" << cm.links()
+       << ",\"total_occupancy\":" << cm.total_occupancy()
+       << ",\"max_link_load\":" << cm.max_link_load()
+       << ",\"p50\":" << cm.percentile(50.0)
+       << ",\"p95\":" << cm.percentile(95.0)
+       << ",\"p99\":" << cm.percentile(99.0)
+       << ",\"congested_clock\":" << cm.congested_clock()
+       << ",\"hotspots\":[";
+    const auto spots = cm.hotspot_links(5);
+    for (std::size_t i = 0; i < spots.size(); ++i) {
+      if (i != 0) os << ',';
+      os << "{\"from\":";
+      append_coord(os, spots[i].first.from);
+      os << ",\"to\":";
+      append_coord(os, spots[i].first.to);
+      os << ",\"load\":" << spots[i].second << '}';
+    }
+    os << "],\"phases\":[";
+    const auto phases = cm.phase_congestion();
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      const CongestionMap::PhaseCongestion& pc = phases[i];
+      if (i != 0) os << ',';
+      const double mean =
+          pc.links == 0 ? 0.0
+                        : static_cast<double>(pc.occupancy) /
+                              static_cast<double>(pc.links);
+      os << "\n{\"name\":\"" << json_escape(phase_name(pc.phase))
+         << "\",\"peak\":" << pc.peak << ",\"links\":" << pc.links
+         << ",\"mean\":" << mean << ",\"occupancy\":" << pc.occupancy
+         << '}';
     }
     os << ']';
   }

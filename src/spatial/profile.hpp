@@ -31,10 +31,11 @@
 //   * **Exporters**: an ASCII tree report for terminals, a Chrome
 //     trace_event JSON of phase scopes (open in Perfetto or
 //     chrome://tracing; timestamps are virtual ticks, one per charged
-//     event), and a versioned machine-readable JSON run report combining
-//     totals, the phase tree, the critical-path witness, and an optional
-//     LoadMap congestion summary. docs/OBSERVABILITY.md documents the
-//     schema.
+//     event, with a link-congestion counter track when enabled), and a
+//     versioned machine-readable JSON run report combining totals, the
+//     phase tree, the critical-path witness, an optional LoadMap traffic
+//     summary, and an optional CongestionMap link-level congestion
+//     section. docs/OBSERVABILITY.md documents the schema.
 //
 // Attach per-machine (Machine::set_trace) or process-wide
 // (Machine::set_global_trace); util::ProfileSession wires the standard
@@ -45,6 +46,7 @@
 #pragma once
 
 #include "spatial/clock.hpp"
+#include "spatial/congestion.hpp"
 #include "spatial/geometry.hpp"
 #include "spatial/independence.hpp"
 #include "spatial/metrics.hpp"
@@ -86,7 +88,9 @@ class Profiler final : public TraceSink {
   /// json_report(). Bump on any breaking change to field names/meaning.
   /// v2: added the "independence" section (batch-independence conflict
   /// counts and per-phase batch footprints).
-  static constexpr int kSchemaVersion = 2;
+  /// v3: added the "congestion" section (per-link occupancy summary,
+  /// per-phase peak link loads, and the opt-in congested-clock metric).
+  static constexpr int kSchemaVersion = 3;
 
   struct Options {
     /// Record per-value witness events so critical_path() can reconstruct
@@ -99,6 +103,13 @@ class Profiler final : public TraceSink {
     /// run report includes a congestion summary. Costs O(distance) per
     /// message; off by default.
     bool load_map{false};
+
+    /// Maintain an embedded CongestionMap (per-link occupancy under the
+    /// same dimension-ordered routing as the load map, with per-phase
+    /// peak link loads and the diagnostic congested-clock metric) and
+    /// export it as the run report's "congestion" section plus a Chrome
+    /// counter track. Costs O(distance) per message; off by default.
+    bool congestion{false};
 
     /// Run an embedded IndependenceChecker (always non-strict: findings
     /// land in the report, never abort) and export its conflict counts
@@ -204,8 +215,12 @@ class Profiler final : public TraceSink {
   /// enabled == false when Options::witness was off.
   [[nodiscard]] CriticalPathWitness critical_path() const;
 
-  /// The internal congestion map; nullptr unless Options::load_map.
+  /// The internal per-cell load map; nullptr unless Options::load_map.
   [[nodiscard]] const LoadMap* load_map() const;
+
+  /// The embedded link-level congestion map; nullptr unless
+  /// Options::congestion.
+  [[nodiscard]] const CongestionMap* congestion() const;
 
   /// The embedded batch-independence checker; nullptr when
   /// Options::independence was off.
@@ -220,7 +235,8 @@ class Profiler final : public TraceSink {
   [[nodiscard]] std::string chrome_trace_json() const;
 
   /// Versioned machine-readable run report: totals, phase tree, critical
-  /// path (if witnessed), congestion summary (if load-mapped). Schema in
+  /// path (if witnessed), per-cell load summary (if load-mapped), and
+  /// link-level congestion section (if congestion-mapped). Schema in
   /// docs/OBSERVABILITY.md; "schema_version" == kSchemaVersion.
   [[nodiscard]] std::string json_report() const;
 
@@ -234,6 +250,11 @@ class Profiler final : public TraceSink {
     PhaseId phase{kNoPhase};
     std::uint64_t tick{0};
     index_t energy{0};  ///< cumulative energy at the transition
+    /// Congestion counters at the transition (0 unless
+    /// Options::congestion): the Chrome trace's counter-track samples
+    /// share the phase scopes' tick axis.
+    index_t max_link_load{0};
+    index_t congested_clock{0};
   };
 
   /// One witnessed clock observation (message arrival or birth).
@@ -274,6 +295,7 @@ class Profiler final : public TraceSink {
   std::unordered_map<index_t, std::uint32_t> first_distance_;
 
   std::unique_ptr<LoadMap> load_map_;
+  std::unique_ptr<CongestionMap> congestion_;
   std::unique_ptr<IndependenceChecker> independence_;
 };
 

@@ -1,6 +1,7 @@
 #include "testing/runner.hpp"
 
 #include "spatial/bulk_ab.hpp"
+#include "spatial/congestion.hpp"
 #include "spatial/independence.hpp"
 #include "spatial/validate.hpp"
 #include "testing/shrink.hpp"
@@ -40,7 +41,8 @@ IndependenceChecker::Config independence_config() {
 }
 
 /// One traced execution: outcome, machine totals, conformance and batch-
-/// independence verdicts.
+/// independence verdicts, plus (on metamorphic cadence) the link-level
+/// congestion signature the translation/reflection oracles compare.
 struct Execution {
   CaseOutcome outcome;
   Metrics metrics;
@@ -48,13 +50,22 @@ struct Execution {
   std::string conformance_report;
   bool independence_ok{true};
   std::string independence_report;
+  /// Sorted per-link occupancy values (CongestionMap::occupancy_multiset);
+  /// empty unless congestion tracking was requested.
+  std::vector<index_t> link_multiset;
+  index_t peak_link_load{0};
 };
 
-Execution execute(const Property& prop, const CaseInput& in) {
+Execution execute(const Property& prop, const CaseInput& in,
+                  bool track_congestion = false) {
   Machine m;
   ConformanceChecker checker(checker_config());
   IndependenceChecker independence(independence_config());
   FanoutSink fanout(std::vector<TraceSink*>{&checker, &independence});
+  // Congestion tracking costs O(distance) per message, so it rides the
+  // metamorphic cadence only.
+  CongestionMap congestion;
+  if (track_congestion) fanout.add(&congestion);
   m.set_trace(&fanout);
   Execution result;
   // A bug in the code under test may surface as an exception (a broken
@@ -80,6 +91,10 @@ Execution execute(const Property& prop, const CaseInput& in) {
   result.independence_ok = independence.report().ok();
   if (!result.independence_ok) {
     result.independence_report = independence.report().str();
+  }
+  if (track_congestion) {
+    result.link_multiset = congestion.occupancy_multiset();
+    result.peak_link_load = congestion.max_link_load();
   }
   return result;
 }
@@ -164,7 +179,7 @@ FuzzRunner::Verdict FuzzRunner::evaluate(const Property& prop,
                                          const CaseInput& in,
                                          bool check_metamorphic,
                                          bool check_ab) {
-  const Execution base = execute(prop, in);
+  const Execution base = execute(prop, in, check_metamorphic);
   if (!base.conformance_ok) {
     return {false, "conformance", base.conformance_report};
   }
@@ -197,12 +212,24 @@ FuzzRunner::Verdict FuzzRunner::evaluate(const Property& prop,
     const Coord delta{17, -9};
     const CaseInput moved = prop.translate ? prop.translate(in, delta)
                                            : translate_geometry(in, delta);
-    const Execution shifted = execute(prop, moved);
+    const Execution shifted = execute(prop, moved, /*track_congestion=*/true);
     if (!(shifted.metrics == base.metrics)) {
       std::ostringstream os;
       os << "metrics changed under translation by (" << delta.row << ","
          << delta.col << "): base " << base.metrics.str() << " vs moved "
          << shifted.metrics.str();
+      return {false, "metamorphic:translation", os.str()};
+    }
+    if (shifted.link_multiset != base.link_multiset) {
+      // Translation moves every dimension-ordered route rigidly: links
+      // relocate but no occupancy value changes, so the multiset over
+      // touched links must be bit-identical.
+      std::ostringstream os;
+      os << "link-occupancy multiset changed under translation by ("
+         << delta.row << "," << delta.col << "): base " << base.link_multiset.size()
+         << " links peak " << base.peak_link_load << " vs moved "
+         << shifted.link_multiset.size() << " links peak "
+         << shifted.peak_link_load;
       return {false, "metamorphic:translation", os.str()};
     }
     if (!shifted.outcome.ok) {
@@ -215,12 +242,22 @@ FuzzRunner::Verdict FuzzRunner::evaluate(const Property& prop,
     if (const std::optional<CaseInput> mirrored = prop.reflect(in)) {
       // Reflection reverses columns; every message's length is preserved,
       // so energy and depth must match exactly.
-      const Execution flipped = execute(prop, *mirrored);
+      const Execution flipped = execute(prop, *mirrored, /*track_congestion=*/true);
       if (flipped.metrics.energy != base.metrics.energy ||
           flipped.metrics.depth() != base.metrics.depth()) {
         std::ostringstream os;
         os << "energy/depth changed under reflection: base "
            << base.metrics.str() << " vs mirrored " << flipped.metrics.str();
+        return {false, "metamorphic:reflection", os.str()};
+      }
+      if (flipped.peak_link_load != base.peak_link_load) {
+        // Column reflection maps the dimension-ordered route set onto its
+        // mirror image (east/west link directions swap), a bijection on
+        // links — so the peak link load is preserved exactly.
+        std::ostringstream os;
+        os << "peak link load changed under reflection: base "
+           << base.peak_link_load << " vs mirrored "
+           << flipped.peak_link_load;
         return {false, "metamorphic:reflection", os.str()};
       }
       if (!flipped.outcome.ok) {

@@ -24,14 +24,21 @@ ProfileSession::ProfileSession(const Cli& cli) : cli_(&cli) {
   report_path_ = cli.get("profile", "");
   trace_path_ = cli.get("trace-json", "");
   ascii_ = cli.has("profile-ascii");
+  congestion_heatmap_ = cli.has("congestion-heatmap");
+  congestion_ = cli.has("congestion") || congestion_heatmap_;
+  load_heatmap_ = cli.has("load-heatmap");
   // The run report's critical-path section needs the witness; standalone
   // traces/ASCII trees don't pay for it unless asked.
   const bool witness =
       cli.get_int("witness", report_path_.empty() ? 0 : 1) != 0;
-  if (report_path_.empty() && trace_path_.empty() && !ascii_) return;
+  if (report_path_.empty() && trace_path_.empty() && !ascii_ &&
+      !congestion_ && !load_heatmap_) {
+    return;
+  }
   Profiler::Options options;
   options.witness = witness;
-  options.load_map = !report_path_.empty();
+  options.load_map = !report_path_.empty() || load_heatmap_;
+  options.congestion = congestion_;
   profiler_ = std::make_unique<Profiler>(options);
   Machine::set_global_trace(profiler_.get());
 }
@@ -66,6 +73,15 @@ void ProfileSession::finish() {
       }
     }
     if (ascii_) std::cout << profiler_->ascii_report();
+    if (congestion_ && profiler_->congestion() != nullptr) {
+      std::cout << profiler_->congestion()->ascii_report();
+      if (congestion_heatmap_) {
+        std::cout << profiler_->congestion()->heatmap();
+      }
+    }
+    if (load_heatmap_ && profiler_->load_map() != nullptr) {
+      std::cout << profiler_->load_map()->heatmap();
+    }
   }
   cli_->warn_unknown();
 }

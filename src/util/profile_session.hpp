@@ -10,6 +10,14 @@
 //   --profile-ascii      print the ASCII phase-tree report to stdout
 //   --witness=<0|1>      force the witness recorder off/on (default: on
 //                        exactly when --profile is given)
+//   --congestion         track per-link occupancy (CongestionMap): print
+//                        the ASCII congestion report, add the
+//                        "congestion" section to --profile reports and a
+//                        counter track to --trace-json traces
+//   --congestion-heatmap print the ASCII link heatmap (implies
+//                        --congestion)
+//   --load-heatmap       print the ASCII per-cell load heatmap (implies
+//                        the LoadMap that --profile already enables)
 //
 // A ProfileSession parses those flags, attaches a Profiler as the
 // process-global trace sink when any are set, and writes the artifacts in
@@ -56,6 +64,9 @@ class ProfileSession {
   std::string report_path_;
   std::string trace_path_;
   bool ascii_{false};
+  bool congestion_{false};
+  bool congestion_heatmap_{false};
+  bool load_heatmap_{false};
   bool finished_{false};
 };
 

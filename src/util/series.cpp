@@ -25,7 +25,23 @@ void SeriesRegistry::add(const std::string& series, double n,
     it->metrics = m;
     return;
   }
-  samples.insert(it, Sample{n, m});
+  samples.insert(it, Sample{n, m, {}});
+}
+
+void SeriesRegistry::add_value(const std::string& series, double n,
+                               const std::string& key, double value) {
+  auto& samples = series_[series];
+  const auto it = std::lower_bound(
+      samples.begin(), samples.end(), n,
+      [](const Sample& s, double v) { return s.n < v; });
+  if (it != samples.end() && it->n == n) {
+    it->extra[key] = value;
+    return;
+  }
+  Sample s;
+  s.n = n;
+  s.extra[key] = value;
+  samples.insert(it, std::move(s));
 }
 
 const std::vector<Sample>& SeriesRegistry::series(
@@ -47,6 +63,23 @@ double metric_value(const Metrics& m, const std::string& metric) {
   if (metric == "messages") return static_cast<double>(m.messages);
   assert(false && "unknown metric name in a Claim");
   return std::numeric_limits<double>::quiet_NaN();
+}
+
+double sample_value(const Sample& s, const std::string& metric) {
+  if (known_metric(metric)) return metric_value(s.metrics, metric);
+  const auto it = s.extra.find(metric);
+  if (it != s.extra.end()) return it->second;
+  assert(false && "sample carries neither a model metric nor an extra");
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+bool series_has_extra(const std::vector<Sample>& samples,
+                      const std::string& metric) {
+  if (samples.empty()) return false;
+  for (const Sample& s : samples) {
+    if (!s.extra.contains(metric)) return false;
+  }
+  return true;
 }
 
 void print_series(const std::string& title, const std::string& series,
@@ -77,14 +110,14 @@ void print_series(const std::string& title, const std::string& series,
   std::vector<double> ns;
   for (const Sample& s : samples) ns.push_back(s.n);
   for (const Claim& c : claims) {
-    if (!known_metric(c.metric)) {
+    if (!known_metric(c.metric) && !series_has_extra(samples, c.metric)) {
       std::printf("  claim %-8s ~ %s: unknown metric name -> FAIL\n",
                   c.metric.c_str(), c.paper.c_str());
       continue;
     }
     std::vector<double> ys;
     for (const Sample& s : samples) {
-      ys.push_back(metric_value(s.metrics, c.metric));
+      ys.push_back(sample_value(s, c.metric));
     }
     const util::PowerFit fit =
         c.polylog ? util::fit_polylog(ns, ys) : util::fit_power_law(ns, ys);
@@ -107,13 +140,14 @@ void print_series(const std::string& title, const std::string& series,
 
 void print_ratio(const std::string& title, const std::string& a,
                  const std::string& b, const std::string& metric) {
-  if (!known_metric(metric)) {
+  const auto& sa = SeriesRegistry::instance().series(a);
+  const auto& sb = SeriesRegistry::instance().series(b);
+  if (!known_metric(metric) && !(series_has_extra(sa, metric) &&
+                                 series_has_extra(sb, metric))) {
     std::printf("\n== %s ==\n  unknown metric name \"%s\" -> FAIL\n",
                 title.c_str(), metric.c_str());
     return;
   }
-  const auto& sa = SeriesRegistry::instance().series(a);
-  const auto& sb = SeriesRegistry::instance().series(b);
   if (sa.empty() || sb.empty()) return;
   util::Table table({"n", a + " " + metric, b + " " + metric,
                      "ratio " + a + "/" + b});
@@ -121,8 +155,8 @@ void print_ratio(const std::string& title, const std::string& a,
   for (const Sample& x : sa) {
     for (const Sample& y : sb) {
       if (x.n != y.n) continue;
-      const double va = metric_value(x.metrics, metric);
-      const double vb = metric_value(y.metrics, metric);
+      const double va = sample_value(x, metric);
+      const double vb = sample_value(y, metric);
       table.add_row({util::fmt_count(static_cast<long long>(x.n)),
                      util::fmt_count(static_cast<long long>(va)),
                      util::fmt_count(static_cast<long long>(vb)),

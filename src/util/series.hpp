@@ -21,6 +21,11 @@ namespace scm::util {
 struct Sample {
   double n{0};
   Metrics metrics;
+  /// Custom diagnostic metrics beyond the model's four (e.g. the
+  /// congestion sink's "peak_link_load"), keyed by name. Claims and
+  /// ratio tables may reference a custom key when every sample of the
+  /// series carries it.
+  std::map<std::string, double> extra;
 };
 
 /// Process-wide store of measurements, keyed by series name, with points
@@ -32,8 +37,14 @@ class SeriesRegistry {
   static SeriesRegistry& instance();
 
   /// Inserts the point at its sorted position; a point with the same n
-  /// overwrites the previous measurement.
+  /// overwrites the previous measurement (custom `extra` values at that n
+  /// are preserved).
   void add(const std::string& series, double n, const Metrics& m);
+
+  /// Records a custom diagnostic metric at (series, n), creating the
+  /// sample if no model metrics were recorded there yet.
+  void add_value(const std::string& series, double n,
+                 const std::string& key, double value);
 
   /// The series' samples in ascending n; empty if never recorded.
   [[nodiscard]] const std::vector<Sample>& series(
@@ -53,6 +64,16 @@ class SeriesRegistry {
 /// in debug builds and return NaN — which can never PASS — otherwise.
 [[nodiscard]] double metric_value(const Metrics& m,
                                   const std::string& metric);
+
+/// The named model metric of the sample, or its custom `extra` value when
+/// `metric` is not a model metric name. Same loud-NaN contract as
+/// metric_value for names the sample does not carry at all.
+[[nodiscard]] double sample_value(const Sample& s, const std::string& metric);
+
+/// True when every sample of the series carries `metric` as a custom
+/// `extra` key — the condition under which claims/ratios may use it.
+[[nodiscard]] bool series_has_extra(const std::vector<Sample>& samples,
+                                    const std::string& metric);
 
 /// A claimed growth shape to validate against a measured series.
 struct Claim {

@@ -36,6 +36,12 @@ void expect_ab_ok(const std::function<void(Machine&)>& algorithm) {
   EXPECT_GT(r.bulk.totals.messages, 0);
   EXPECT_EQ(r.scalar.totals, r.bulk.totals);
   EXPECT_EQ(r.scalar.phases, r.bulk.phases);
+  // Per-link occupancy (batched vs replayed congestion sink) must also be
+  // byte-identical, and a real algorithm touches at least one link.
+  EXPECT_TRUE(r.links_equal);
+  EXPECT_EQ(r.scalar.links, r.bulk.links);
+  EXPECT_GT(r.bulk.links.size(), 0u);
+  EXPECT_EQ(r.scalar.congested_clock, r.bulk.congested_clock);
 }
 
 TEST(BulkEquivalence, Scan) {
