@@ -9,15 +9,16 @@ namespace scm {
 
 namespace {
 
-AbRun run_one(const std::function<void(Machine&)>& algorithm, bool bulk) {
-  ScopedBulkCharging mode(bulk);
+/// One traced execution; the caller installs the charging mode (and, for
+/// the parallel leg, the engine) before calling. `congestion` is either a
+/// serial CongestionMap or a ShardedCongestionMap exposing the same
+/// canonical exports through the lambda pair.
+template <typename Congestion>
+AbRun run_traced(const std::function<void(Machine&)>& algorithm,
+                 Congestion& congestion) {
   ConformanceChecker::Config config;
   config.strict = false;  // mismatches must surface as AbResult, not abort
   ConformanceChecker checker(config);
-  // The scalar run feeds the congestion map per-message replays; the bulk
-  // run exercises its batched on_send_bulk. sorted_links() then compares
-  // the two decompositions link by link.
-  CongestionMap congestion;
   FanoutSink fanout({&checker, &congestion});
   Machine m;
   m.set_trace(&fanout);
@@ -33,6 +34,26 @@ AbRun run_one(const std::function<void(Machine&)>& algorithm, bool bulk) {
   return run;
 }
 
+AbRun run_one(const std::function<void(Machine&)>& algorithm, bool bulk) {
+  ScopedBulkCharging mode(bulk);
+  // The scalar run feeds the congestion map per-message replays; the bulk
+  // run exercises its batched on_send_bulk. sorted_links() then compares
+  // the two decompositions link by link.
+  CongestionMap congestion;
+  return run_traced(algorithm, congestion);
+}
+
+AbRun run_parallel(const std::function<void(Machine&)>& algorithm,
+                   const parallel::Config& cfg) {
+  ScopedBulkCharging mode(true);
+  parallel::ScopedParallelEngine engine(cfg);
+  // The sharded sink shares the engine's tiling, so this leg proves both
+  // the engine's merged charging and the sharded link decomposition
+  // against the serial runs' numbers.
+  parallel::ShardedCongestionMap congestion(cfg);
+  return run_traced(algorithm, congestion);
+}
+
 void append_metrics(std::ostringstream& os, const Metrics& m) {
   os << "energy=" << m.energy << " messages=" << m.messages
      << " local_ops=" << m.local_ops << " depth=" << m.depth()
@@ -40,69 +61,72 @@ void append_metrics(std::ostringstream& os, const Metrics& m) {
 }
 
 void append_metrics_diff(std::ostringstream& os, const std::string& what,
-                         const Metrics& scalar, const Metrics& bulk) {
-  os << "  " << what << ":\n    scalar: ";
-  append_metrics(os, scalar);
-  os << "\n    bulk:   ";
-  append_metrics(os, bulk);
+                         const char* label_a, const char* label_b,
+                         const Metrics& a, const Metrics& b) {
+  os << "  " << what << ":\n    " << label_a << ": ";
+  append_metrics(os, a);
+  os << "\n    " << label_b << ": ";
+  append_metrics(os, b);
   os << '\n';
 }
 
-}  // namespace
-
-std::string AbResult::diff() const {
-  if (ok()) return {};
+/// Every mismatch between two runs, `a` being the reference; empty when
+/// the runs agree on totals, phases, and links (conformance verdicts are
+/// reported separately, once per run).
+std::string diff_pair(const AbRun& a, const AbRun& b, const char* label_a,
+                      const char* label_b) {
   std::ostringstream os;
-  if (!totals_equal) append_metrics_diff(os, "totals", scalar.totals, bulk.totals);
-  if (!phases_equal) {
-    for (const auto& [name, metrics] : scalar.phases) {
-      const auto it = bulk.phases.find(name);
-      if (it == bulk.phases.end()) {
-        os << "  phase \"" << name << "\": present in scalar only\n";
+  if (!(a.totals == b.totals)) {
+    append_metrics_diff(os, "totals", label_a, label_b, a.totals, b.totals);
+  }
+  if (a.phases != b.phases) {
+    for (const auto& [name, metrics] : a.phases) {
+      const auto it = b.phases.find(name);
+      if (it == b.phases.end()) {
+        os << "  phase \"" << name << "\": present in " << label_a
+           << " only\n";
       } else if (!(it->second == metrics)) {
-        append_metrics_diff(os, "phase \"" + name + "\"", metrics,
-                            it->second);
+        append_metrics_diff(os, "phase \"" + name + "\"", label_a, label_b,
+                            metrics, it->second);
       }
     }
-    for (const auto& [name, metrics] : bulk.phases) {
-      if (!scalar.phases.contains(name)) {
-        os << "  phase \"" << name << "\": present in bulk only\n";
+    for (const auto& [name, metrics] : b.phases) {
+      if (!a.phases.contains(name)) {
+        os << "  phase \"" << name << "\": present in " << label_b
+           << " only\n";
       }
     }
   }
-  if (!links_equal) {
-    if (scalar.congested_clock != bulk.congested_clock) {
-      os << "  congested clock: scalar " << scalar.congested_clock
-         << " vs bulk " << bulk.congested_clock << '\n';
-    }
+  if (a.congested_clock != b.congested_clock) {
+    os << "  congested clock: " << label_a << ' ' << a.congested_clock
+       << " vs " << label_b << ' ' << b.congested_clock << '\n';
+  }
+  if (a.links != b.links) {
     std::size_t reported = 0;
     std::size_t i = 0;
     std::size_t j = 0;
-    while ((i < scalar.links.size() || j < bulk.links.size()) &&
-           reported < 8) {
-      const bool take_scalar =
-          j >= bulk.links.size() ||
-          (i < scalar.links.size() &&
-           scalar.links[i].first < bulk.links[j].first);
-      const bool take_bulk =
-          i >= scalar.links.size() ||
-          (j < bulk.links.size() &&
-           bulk.links[j].first < scalar.links[i].first);
-      if (take_scalar) {
-        os << "  link " << scalar.links[i].first.str()
-           << ": scalar only (load " << scalar.links[i].second << ")\n";
+    while ((i < a.links.size() || j < b.links.size()) && reported < 8) {
+      const bool take_a =
+          j >= b.links.size() ||
+          (i < a.links.size() && a.links[i].first < b.links[j].first);
+      const bool take_b =
+          i >= a.links.size() ||
+          (j < b.links.size() && b.links[j].first < a.links[i].first);
+      if (take_a) {
+        os << "  link " << a.links[i].first.str() << ": " << label_a
+           << " only (load " << a.links[i].second << ")\n";
         ++i;
         ++reported;
-      } else if (take_bulk) {
-        os << "  link " << bulk.links[j].first.str()
-           << ": bulk only (load " << bulk.links[j].second << ")\n";
+      } else if (take_b) {
+        os << "  link " << b.links[j].first.str() << ": " << label_b
+           << " only (load " << b.links[j].second << ")\n";
         ++j;
         ++reported;
       } else {
-        if (scalar.links[i].second != bulk.links[j].second) {
-          os << "  link " << scalar.links[i].first.str() << ": scalar "
-             << scalar.links[i].second << " vs bulk "
-             << bulk.links[j].second << '\n';
+        if (a.links[i].second != b.links[j].second) {
+          os << "  link " << a.links[i].first.str() << ": " << label_a << ' '
+             << a.links[i].second << " vs " << label_b << ' '
+             << b.links[j].second << '\n';
           ++reported;
         }
         ++i;
@@ -110,12 +134,24 @@ std::string AbResult::diff() const {
       }
     }
   }
-  if (!scalar.conformance_ok) {
-    os << "  scalar run not conformant:\n" << scalar.conformance_report;
+  return os.str();
+}
+
+void append_conformance(std::ostringstream& os, const AbRun& run,
+                        const char* label) {
+  if (!run.conformance_ok) {
+    os << "  " << label << " run not conformant:\n" << run.conformance_report;
   }
-  if (!bulk.conformance_ok) {
-    os << "  bulk run not conformant:\n" << bulk.conformance_report;
-  }
+}
+
+}  // namespace
+
+std::string AbResult::diff() const {
+  if (ok()) return {};
+  std::ostringstream os;
+  os << diff_pair(scalar, bulk, "scalar", "bulk");
+  append_conformance(os, scalar, "scalar");
+  append_conformance(os, bulk, "bulk");
   return os.str();
 }
 
@@ -128,6 +164,37 @@ AbResult run_ab(const std::function<void(Machine&)>& algorithm) {
   result.links_equal =
       result.scalar.links == result.bulk.links &&
       result.scalar.congested_clock == result.bulk.congested_clock;
+  return result;
+}
+
+std::string AbcResult::diff() const {
+  if (ok()) return {};
+  std::ostringstream os;
+  const std::string sb = diff_pair(scalar, bulk, "scalar", "bulk");
+  if (!sb.empty()) os << " scalar vs bulk:\n" << sb;
+  const std::string sp = diff_pair(scalar, parallel, "scalar", "parallel");
+  if (!sp.empty()) os << " scalar vs parallel:\n" << sp;
+  append_conformance(os, scalar, "scalar");
+  append_conformance(os, bulk, "bulk");
+  append_conformance(os, parallel, "parallel");
+  return os.str();
+}
+
+AbcResult run_abc(const std::function<void(Machine&)>& algorithm,
+                  const parallel::Config& cfg) {
+  AbcResult result;
+  result.scalar = run_one(algorithm, /*bulk=*/false);
+  result.bulk = run_one(algorithm, /*bulk=*/true);
+  result.parallel = run_parallel(algorithm, cfg);
+  result.totals_equal = result.scalar.totals == result.bulk.totals &&
+                        result.scalar.totals == result.parallel.totals;
+  result.phases_equal = result.scalar.phases == result.bulk.phases &&
+                        result.scalar.phases == result.parallel.phases;
+  result.links_equal =
+      result.scalar.links == result.bulk.links &&
+      result.scalar.links == result.parallel.links &&
+      result.scalar.congested_clock == result.bulk.congested_clock &&
+      result.scalar.congested_clock == result.parallel.congested_clock;
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "spatial/machine.hpp"
 
+#include "spatial/parallel.hpp"
 #include "spatial/trace.hpp"
 
 #include <cassert>
@@ -50,6 +51,26 @@ void Machine::send_bulk(std::span<MessageEvent> batch) {
     }
     return;
   }
+  // Sharded fast path: batches at least min_parallel_batch long are
+  // charged tile-parallel (spatial/parallel.hpp). The engine fills
+  // distance/arrival in place, merges per-worker aggregates in fixed
+  // worker order, and we flush through the exact code path the serial
+  // loop uses and emit the same single on_send_bulk — bit-identical by
+  // construction. The engine *declines* (returns false) when its inline
+  // guard finds two entries addressing one destination — an unproven
+  // batch — and the serial loop below charges it instead, leaving the
+  // IndependenceChecker to report the conflict.
+  if (parallel::Engine* const eng = parallel::engine();
+      eng != nullptr &&
+      static_cast<index_t>(batch.size()) >= eng->config().min_parallel_batch) {
+    parallel::BulkAggregate agg;
+    if (eng->charge_send_bulk(batch, agg)) {
+      if (agg.messages == 0) return;
+      apply_send_aggregate(agg.energy, agg.messages, agg.max_clock);
+      emit([&](TraceSink& s) { s.on_send_bulk(batch); });
+      return;
+    }
+  }
   // Tight accumulation loop: no phase-set walk, no virtual dispatch.
   index_t energy = 0;
   index_t messages = 0;
@@ -68,6 +89,12 @@ void Machine::send_bulk(std::span<MessageEvent> batch) {
     max = Clock::join(max, e.arrival);
   }
   if (messages == 0) return;
+  apply_send_aggregate(energy, messages, max);
+  emit([&](TraceSink& s) { s.on_send_bulk(batch); });
+}
+
+void Machine::apply_send_aggregate(index_t energy, index_t messages,
+                                   Clock max) {
   // One flush into the totals and each active phase. Identical to the
   // scalar path's per-message charge/observe because sums commute and
   // Clock::join is an associative/commutative max; the whole batch is
@@ -82,7 +109,6 @@ void Machine::send_bulk(std::span<MessageEvent> batch) {
     pm.messages += messages;
     pm.max_clock = Clock::join(pm.max_clock, max);
   }
-  emit([&](TraceSink& s) { s.on_send_bulk(batch); });
 }
 
 void Machine::op(index_t n) {
@@ -124,7 +150,15 @@ void Machine::birth_bulk(std::span<const BirthEvent> batch) {
     return;
   }
   Clock max{};
-  for (const BirthEvent& b : batch) max = Clock::join(max, b.clock);
+  // Births have no per-entry charge, only the clock-join reduction, so
+  // the parallel engine's contribution is a block-partitioned max.
+  if (parallel::Engine* const eng = parallel::engine();
+      eng != nullptr &&
+      static_cast<index_t>(batch.size()) >= eng->config().min_parallel_batch) {
+    max = eng->join_birth_clocks(batch);
+  } else {
+    for (const BirthEvent& b : batch) max = Clock::join(max, b.clock);
+  }
   observe(max);
   emit([&](TraceSink& s) { s.on_birth_bulk(batch); });
 }
@@ -140,6 +174,7 @@ void Machine::death_bulk(std::span<const Coord> batch) {
 
 void Machine::reset() {
   totals_ = Metrics{};
+  ++phases_version_;  // per-phase records mutate: invalidate phases() cache
   for (const PhaseId id : touched_) {
     phase_totals_[id] = Metrics{};
     touched_flag_[id] = 0;
@@ -151,13 +186,15 @@ void Machine::reset() {
   emit([](TraceSink& s) { s.on_reset(); });
 }
 
-std::map<std::string, Metrics> Machine::phases() const {
+const std::map<std::string, Metrics>& Machine::phases() const {
+  if (phases_cache_version_ == phases_version_) return phases_cache_;
   const PhaseRegistry& registry = PhaseRegistry::instance();
-  std::map<std::string, Metrics> view;
+  phases_cache_.clear();
   for (const PhaseId id : touched_) {
-    view.emplace(registry.name(id), phase_totals_[id]);
+    phases_cache_.emplace(registry.name(id), phase_totals_[id]);
   }
-  return view;
+  phases_cache_version_ = phases_version_;
+  return phases_cache_;
 }
 
 const Metrics& Machine::phase(std::string_view name) const {

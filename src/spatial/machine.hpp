@@ -27,6 +27,7 @@
 #include "spatial/phase.hpp"
 #include "spatial/trace.hpp"
 
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <span>
@@ -122,10 +123,16 @@ class Machine {
   /// from the id-indexed engine (names sorted, as the historical map API
   /// guaranteed). Nested phases accumulate into every active scope, so
   /// "sort" includes its "sort/merge" children; a phase appears once it
-  /// has at least one attributed event. Builds a fresh std::map (string
-  /// keys, node allocations) on every call: report-time only — hot query
-  /// paths use phase(name) / phase(id) / touched_phases() instead.
-  [[nodiscard]] std::map<std::string, Metrics> phases() const;
+  /// has at least one attributed event. The materialization is cached and
+  /// invalidated whenever any per-phase record mutates (charging under an
+  /// active phase, or reset), so report paths that query it repeatedly —
+  /// cost_report, the run-report exporter, the A/B harness — pay the
+  /// string-keyed map build once per change, not once per call. Registry
+  /// growth alone cannot change the output (names are immutable per id and
+  /// a phase appears only once touched), so it does not invalidate. The
+  /// reference stays valid until the Machine is destroyed; its *contents*
+  /// refresh on the next phases() call after a mutation.
+  [[nodiscard]] const std::map<std::string, Metrics>& phases() const;
 
   /// Costs recorded under a phase name; a zero Metrics if never entered.
   /// The reference is stable across further charging and phase
@@ -190,10 +197,18 @@ class Machine {
  private:
   void charge(index_t energy, index_t messages);
 
+  /// One merged flush of a send batch into the totals and every active
+  /// phase — the single code path shared by the serial bulk loop and the
+  /// parallel engine's merged aggregate, so both are bit-identical by
+  /// construction.
+  void apply_send_aggregate(index_t energy, index_t messages, Clock max);
+
   /// The per-phase record for `id`, marking it as touched (= it will
   /// appear in phases()). Precondition: `id` is on the phase stack, so the
-  /// per-id tables were sized by begin_phase.
+  /// per-id tables were sized by begin_phase. Callers mutate the returned
+  /// record, so this is the phases()-cache invalidation point.
   Metrics& slot(PhaseId id) {
+    ++phases_version_;
     if (touched_flag_[id] == 0) {
       touched_flag_[id] = 1;
       touched_.push_back(id);
@@ -227,6 +242,12 @@ class Machine {
   std::deque<Metrics> phase_totals_;
   std::vector<char> touched_flag_;
   std::vector<PhaseId> touched_;
+
+  // phases() cache: rebuilt when phases_version_ (bumped on any per-phase
+  // record mutation — slot() and reset()) outruns the cached version.
+  std::uint64_t phases_version_{0};
+  mutable std::map<std::string, Metrics> phases_cache_;
+  mutable std::uint64_t phases_cache_version_{~std::uint64_t{0}};
 
   TraceSink* trace_{nullptr};
 

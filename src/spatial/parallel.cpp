@@ -1,0 +1,765 @@
+#include "spatial/parallel.hpp"
+
+#include "spatial/independence.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+
+namespace scm::parallel {
+
+namespace {
+
+/// Direction codes, identical to CongestionMap's (congestion.cpp).
+enum : std::uint8_t { kUp = 0, kDown = 1, kLeft = 2, kRight = 3 };
+
+std::uint64_t pack_tile(TileCoord t) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.row)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.col));
+}
+
+index_t pow2_at_least(index_t v) {
+  return ceil_pow2(std::max<index_t>(1, v));
+}
+
+Config normalized(Config cfg) {
+  cfg.threads = std::max(1, cfg.threads);
+  cfg.tile_rows = pow2_at_least(cfg.tile_rows);
+  cfg.tile_cols = pow2_at_least(cfg.tile_cols);
+  cfg.min_parallel_batch = std::max<index_t>(1, cfg.min_parallel_batch);
+  return cfg;
+}
+
+int log2_of(index_t pow2) {
+  return std::countr_zero(static_cast<std::uint64_t>(pow2));
+}
+
+struct GlobalState {
+  Config cfg{};
+  std::unique_ptr<Engine> eng;
+  bool initialized{false};
+};
+
+GlobalState& global() {
+  static GlobalState g;
+  return g;
+}
+
+}  // namespace
+
+Tiling::Tiling(index_t tile_rows, index_t tile_cols, int shards)
+    : tile_rows_(pow2_at_least(tile_rows)),
+      tile_cols_(pow2_at_least(tile_cols)),
+      log2_rows_(log2_of(tile_rows_)),
+      log2_cols_(log2_of(tile_cols_)),
+      shards_(std::max(1, shards)) {}
+
+Engine::Engine(const Config& cfg)
+    : config_(normalized(cfg)),
+      tiling_(config_.tile_rows, config_.tile_cols, config_.threads),
+      barrier_(config_.threads) {
+  const auto t = static_cast<std::size_t>(config_.threads);
+  bins_.resize(t * t);
+  lanes_.resize(t);
+  guard_.resize(t);
+  workers_.reserve(t - 1);
+  for (int i = 1; i < config_.threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Engine::~Engine() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void Engine::worker_loop(int id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(id);
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void Engine::run(const std::function<void(int)>& fn) {
+  if (config_.threads == 1) {
+    fn(0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    ++generation_;
+    pending_ = config_.threads - 1;
+  }
+  cv_start_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return pending_ == 0; });
+}
+
+bool Engine::charge_send_bulk(std::span<MessageEvent> batch,
+                              BulkAggregate& out) {
+  const std::size_t n = batch.size();
+  if (n == 0) {
+    out = BulkAggregate{};
+    ++stats_.parallel_batches;
+    return true;
+  }
+  if (n > std::numeric_limits<std::uint32_t>::max()) return false;
+  const int threads = config_.threads;
+  const bool guard_on = config_.guard && !ScopedUnorderedDelivery::active();
+  ++epoch_;
+  if (epoch_ == 0) {  // wrap: stale stamps could alias, drop them all
+    for (auto& m : guard_) m.clear();
+    epoch_ = 1;
+  }
+  for (auto& bin : bins_) bin.clear();
+  MessageEvent* const data = batch.data();
+
+  run([&](int w) {
+    // Pass A: bin my block's entry indices by the worker that owns each
+    // destination tile. bins_[w * threads + owner] has one writer (me)
+    // now and one reader (owner) after the barrier.
+    const auto [lo, hi] = slice(n, w);
+    std::vector<std::uint32_t>* const mine =
+        &bins_[static_cast<std::size_t>(w) * static_cast<std::size_t>(threads)];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const int owner = tiling_.shard_of(tiling_.tile_of(data[i].to));
+      mine[owner].push_back(static_cast<std::uint32_t>(i));
+    }
+    sync();
+    // Pass B: charge every entry addressed to my tiles, scanning the
+    // producers in fixed order. Entry sets are disjoint across workers,
+    // so the in-place distance/arrival writes are race-free.
+    BulkAggregate agg;
+    bool conflict = false;
+    auto& gmap = guard_[static_cast<std::size_t>(w)];
+    std::uint64_t cached_key = ~std::uint64_t{0};
+    GuardTile* cached_tile = nullptr;
+    for (int p = 0; p < threads; ++p) {
+      const auto& bin =
+          bins_[static_cast<std::size_t>(p) * static_cast<std::size_t>(threads) +
+                static_cast<std::size_t>(w)];
+      for (const std::uint32_t idx : bin) {
+        MessageEvent& e = data[idx];
+        const index_t dist = manhattan(e.from, e.to);
+        e.distance = dist;
+        if (dist == 0) {
+          e.arrival = e.payload;  // local hand-off: free, no charge
+        } else {
+          e.arrival = e.payload.after_hop(dist);
+          agg.energy += dist;
+          ++agg.messages;
+          agg.max_clock = Clock::join(agg.max_clock, e.arrival);
+        }
+        if (guard_on) {
+          const TileCoord t = tiling_.tile_of(e.to);
+          const std::uint64_t key = pack_tile(t);
+          if (key != cached_key || cached_tile == nullptr) {
+            GuardTile& gt = gmap[key];
+            if (gt.stamp.empty()) {
+              gt.stamp.assign(
+                  static_cast<std::size_t>(tiling_.cells_per_tile()), 0);
+            }
+            cached_tile = &gt;
+            cached_key = key;
+          }
+          std::uint64_t& stamp =
+              cached_tile->stamp[static_cast<std::size_t>(
+                  tiling_.cell_index(e.to))];
+          if (stamp == epoch_) {
+            conflict = true;  // two entries target one destination cell
+          } else {
+            stamp = epoch_;
+          }
+        }
+      }
+    }
+    lanes_[static_cast<std::size_t>(w)].agg = agg;
+    lanes_[static_cast<std::size_t>(w)].conflict = conflict;
+  });
+
+  bool any_conflict = false;
+  for (int w = 0; w < threads; ++w) {
+    any_conflict = any_conflict || lanes_[static_cast<std::size_t>(w)].conflict;
+  }
+  if (any_conflict) {
+    // Unproven batch: decline so the Machine's scalar bulk loop charges
+    // it (identically) and the IndependenceChecker gets to report it.
+    ++stats_.downgraded_batches;
+    return false;
+  }
+  out = BulkAggregate{};
+  for (int w = 0; w < threads; ++w) {
+    out = merge(out, lanes_[static_cast<std::size_t>(w)].agg);
+  }
+  ++stats_.parallel_batches;
+  stats_.parallel_messages += static_cast<std::uint64_t>(out.messages);
+  return true;
+}
+
+Clock Engine::join_birth_clocks(std::span<const BirthEvent> batch) {
+  const std::size_t n = batch.size();
+  run([&](int w) {
+    const auto [lo, hi] = slice(n, w);
+    Clock c{};
+    for (std::size_t i = lo; i < hi; ++i) {
+      c = Clock::join(c, batch[i].clock);
+    }
+    lanes_[static_cast<std::size_t>(w)].clock = c;
+  });
+  Clock out{};
+  for (int w = 0; w < config_.threads; ++w) {
+    out = Clock::join(out, lanes_[static_cast<std::size_t>(w)].clock);
+  }
+  ++stats_.birth_batches;
+  return out;
+}
+
+Config config_from_env() {
+  Config cfg;
+  if (const char* s = std::getenv("SCM_THREADS"); s != nullptr && *s != '\0') {
+    cfg.threads = std::max(1, std::atoi(s));
+  }
+  if (const char* s = std::getenv("SCM_TILE"); s != nullptr && *s != '\0') {
+    long long w = 0;
+    long long h = 0;
+    if (std::sscanf(s, "%lldx%lld", &w, &h) == 2 && w > 0 && h > 0) {
+      cfg.tile_cols = static_cast<index_t>(w);
+      cfg.tile_rows = static_cast<index_t>(h);
+    }
+  }
+  if (const char* s = std::getenv("SCM_PARALLEL_MIN_BATCH");
+      s != nullptr && *s != '\0') {
+    const long long v = std::atoll(s);
+    if (v > 0) cfg.min_parallel_batch = static_cast<index_t>(v);
+  }
+  return cfg;
+}
+
+void configure(const Config& cfg) {
+  GlobalState& g = global();
+  g.initialized = true;
+  const Config norm = normalized(cfg);
+  const bool want_engine = norm.threads >= 2;
+  if (norm == g.cfg && want_engine == (g.eng != nullptr)) return;
+  g.eng.reset();
+  g.cfg = norm;
+  if (want_engine) g.eng = std::make_unique<Engine>(norm);
+}
+
+const Config& config() {
+  GlobalState& g = global();
+  if (!g.initialized) configure(config_from_env());
+  return g.cfg;
+}
+
+Engine* engine() {
+  GlobalState& g = global();
+  if (!g.initialized) configure(config_from_env());
+  return g.eng.get();
+}
+
+ScopedParallelEngine::ScopedParallelEngine(const Config& cfg)
+    : saved_(config()) {
+  configure(cfg);
+}
+
+ScopedParallelEngine::~ScopedParallelEngine() { configure(saved_); }
+
+// ---------------------------------------------------------------------------
+// ShardedCongestionMap
+
+ShardedCongestionMap::ShardedCongestionMap(const Config& cfg) {
+  const Config norm = normalized(cfg);
+  tiling_ = Tiling(norm.tile_rows, norm.tile_cols, norm.threads);
+  const auto s = static_cast<std::size_t>(tiling_.shards());
+  shards_.resize(s);
+  queues_.resize(s * s);
+  cross_.assign(s, 0);
+}
+
+Link ShardedCongestionMap::link_of(LinkKey key) {
+  Coord from{key.row, key.col};
+  Coord to = from;
+  switch (key.dir) {
+    case kUp: to.row -= 1; break;
+    case kDown: to.row += 1; break;
+    case kLeft: to.col -= 1; break;
+    default: to.col += 1; break;
+  }
+  return Link{from, to};
+}
+
+void ShardedCongestionMap::register_bucket(PhaseId id) {
+  if (seen_buckets_.insert(id).second) bucket_order_.push_back(id);
+}
+
+template <typename Fn>
+void ShardedCongestionMap::for_each_segment(Coord from, Coord to,
+                                            Fn&& fn) const {
+  // Dimension-ordered routing, rows first then columns, exactly as
+  // CongestionMap::route. Each unit hop is keyed by its *from*-cell, so
+  // the row run's from-cells are [from.row, to.row-1] going down (or
+  // [to.row+1, from.row] going up) at column from.col, and the column
+  // run's are at row to.row. Runs split at tile-band boundaries; each
+  // resulting Segment lies in exactly one tile.
+  if (to.row != from.row) {
+    const bool down = to.row > from.row;
+    const std::uint8_t dir = down ? kDown : kUp;
+    const index_t lo = down ? from.row : to.row + 1;
+    const index_t hi = down ? to.row - 1 : from.row;
+    index_t r = lo;
+    while (r <= hi) {
+      const index_t band_end = std::min(hi, tiling_.next_row_band(r) - 1);
+      fn(tiling_.shard_of(tiling_.tile_of(Coord{r, from.col})),
+         Segment{r, from.col, band_end - r + 1, dir});
+      r = band_end + 1;
+    }
+  }
+  if (to.col != from.col) {
+    const bool right = to.col > from.col;
+    const std::uint8_t dir = right ? kRight : kLeft;
+    const index_t lo = right ? from.col : to.col + 1;
+    const index_t hi = right ? to.col - 1 : from.col;
+    index_t c = lo;
+    while (c <= hi) {
+      const index_t band_end = std::min(hi, tiling_.next_col_band(c) - 1);
+      fn(tiling_.shard_of(tiling_.tile_of(Coord{to.row, c})),
+         Segment{to.row, c, band_end - c + 1, dir});
+      c = band_end + 1;
+    }
+  }
+}
+
+void ShardedCongestionMap::apply_segment(Shard& shard, Bucket& bucket,
+                                         const Segment& seg) {
+  const bool vertical = seg.dir == kUp || seg.dir == kDown;
+  Coord cur{seg.row, seg.col};
+  for (index_t i = 0; i < seg.count; ++i) {
+    const LinkKey key{cur.row, cur.col, seg.dir};
+    index_t& slot = shard.load[key];
+    ++slot;
+    ++shard.total;
+    shard.peak = std::max(shard.peak, slot);
+    index_t& bslot = bucket.load[key];
+    ++bslot;
+    ++bucket.occupancy;
+    bucket.peak = std::max(bucket.peak, bslot);
+    if (vertical) {
+      ++cur.row;
+    } else {
+      ++cur.col;
+    }
+  }
+}
+
+void ShardedCongestionMap::apply_serial(Coord from, Coord to,
+                                        PhaseId bucket_id) {
+  for_each_segment(from, to, [&](int owner, const Segment& seg) {
+    Shard& sh = shards_[static_cast<std::size_t>(owner)];
+    apply_segment(sh, sh.buckets[bucket_id], seg);
+  });
+}
+
+void ShardedCongestionMap::apply_parallel(Engine& eng,
+                                          std::span<const MessageEvent> batch,
+                                          PhaseId bucket_id) {
+  const int shards = tiling_.shards();
+  for (auto& q : queues_) q.clear();
+  const MessageEvent* const data = batch.data();
+  const std::size_t n = batch.size();
+  eng.run([&](int w) {
+    // Pass A: decompose my block's messages; apply my own tiles'
+    // segments directly, ship foreign ones through the SPSC queues.
+    std::vector<Segment>* const outq =
+        &queues_[static_cast<std::size_t>(w) * static_cast<std::size_t>(shards)];
+    Shard& mine = shards_[static_cast<std::size_t>(w)];
+    Bucket& bk = mine.buckets[bucket_id];
+    std::uint64_t cross = 0;
+    const auto [lo, hi] = eng.slice(n, w);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const MessageEvent& e = data[i];
+      if (e.distance == 0) continue;
+      for_each_segment(e.from, e.to, [&](int owner, const Segment& seg) {
+        if (owner == w) {
+          apply_segment(mine, bk, seg);
+        } else {
+          outq[owner].push_back(seg);
+          ++cross;
+        }
+      });
+    }
+    cross_[static_cast<std::size_t>(w)] = cross;
+    eng.sync();
+    // Pass B: drain the queues addressed to me, producers in fixed
+    // order. Only I touch my shard, so no locks anywhere.
+    for (int p = 0; p < shards; ++p) {
+      if (p == w) continue;
+      const auto& inq =
+          queues_[static_cast<std::size_t>(p) * static_cast<std::size_t>(shards) +
+                  static_cast<std::size_t>(w)];
+      for (const Segment& seg : inq) apply_segment(mine, bk, seg);
+    }
+  });
+  for (int w = 0; w < shards; ++w) {
+    cross_tile_segments_ += cross_[static_cast<std::size_t>(w)];
+  }
+}
+
+void ShardedCongestionMap::on_message(Coord from, Coord to, index_t distance) {
+  assert(distance == manhattan(from, to));
+  ++messages_;
+  if (distance == 0) return;
+  const PhaseId id = bucket();
+  register_bucket(id);
+  apply_serial(from, to, id);
+}
+
+void ShardedCongestionMap::on_send_bulk(std::span<const MessageEvent> batch) {
+  index_t charged = 0;
+  for (const MessageEvent& e : batch) {
+    if (e.distance != 0) ++charged;
+  }
+  if (charged == 0) return;
+  messages_ += charged;
+  const PhaseId id = bucket();
+  register_bucket(id);
+  Engine* const eng = engine();
+  if (eng != nullptr && eng->tiling() == tiling_ &&
+      static_cast<index_t>(batch.size()) >= eng->config().min_parallel_batch) {
+    apply_parallel(*eng, batch, id);
+    ++parallel_batches_;
+  } else {
+    for (const MessageEvent& e : batch) {
+      if (e.distance != 0) apply_serial(e.from, e.to, id);
+    }
+  }
+}
+
+void ShardedCongestionMap::on_phase_enter(PhaseId id) { stack_.push_back(id); }
+
+void ShardedCongestionMap::on_phase_exit(PhaseId id) {
+  (void)id;
+  if (stack_.empty()) return;  // imbalance is the checker's to report
+  stack_.pop_back();
+}
+
+void ShardedCongestionMap::on_reset() { clear(); }
+
+void ShardedCongestionMap::clear() {
+  for (Shard& sh : shards_) {
+    sh.load.clear();
+    sh.total = 0;
+    sh.peak = 0;
+    sh.buckets.clear();
+  }
+  messages_ = 0;
+  bucket_order_.clear();
+  seen_buckets_.clear();
+  parallel_batches_ = 0;
+  cross_tile_segments_ = 0;
+  // stack_ deliberately survives, exactly like CongestionMap::clear().
+}
+
+index_t ShardedCongestionMap::total_occupancy() const {
+  index_t total = 0;
+  for (const Shard& sh : shards_) total += sh.total;
+  return total;
+}
+
+index_t ShardedCongestionMap::links() const {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) n += sh.load.size();
+  return static_cast<index_t>(n);
+}
+
+index_t ShardedCongestionMap::occupancy(Link link) const {
+  std::uint8_t dir = 0;
+  const index_t dr = link.to.row - link.from.row;
+  const index_t dc = link.to.col - link.from.col;
+  if (dr == -1 && dc == 0) {
+    dir = kUp;
+  } else if (dr == 1 && dc == 0) {
+    dir = kDown;
+  } else if (dr == 0 && dc == -1) {
+    dir = kLeft;
+  } else if (dr == 0 && dc == 1) {
+    dir = kRight;
+  } else {
+    return 0;  // not a unit link
+  }
+  const int owner = tiling_.shard_of(tiling_.tile_of(link.from));
+  const Shard& sh = shards_[static_cast<std::size_t>(owner)];
+  const auto it = sh.load.find(LinkKey{link.from.row, link.from.col, dir});
+  return it == sh.load.end() ? 0 : it->second;
+}
+
+index_t ShardedCongestionMap::max_link_load() const {
+  index_t peak = 0;
+  for (const Shard& sh : shards_) peak = std::max(peak, sh.peak);
+  return peak;
+}
+
+std::vector<std::pair<Link, index_t>> ShardedCongestionMap::sorted_links()
+    const {
+  std::vector<std::pair<Link, index_t>> all;
+  all.reserve(static_cast<std::size_t>(links()));
+  for (const Shard& sh : shards_) {
+    for (const auto& [key, count] : sh.load) {
+      all.push_back({link_of(key), count});
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return all;
+}
+
+std::vector<index_t> ShardedCongestionMap::occupancy_multiset() const {
+  std::vector<index_t> values;
+  values.reserve(static_cast<std::size_t>(links()));
+  for (const Shard& sh : shards_) {
+    for (const auto& [key, count] : sh.load) values.push_back(count);
+  }
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+std::vector<ShardedCongestionMap::PhaseCongestion>
+ShardedCongestionMap::phase_congestion() const {
+  std::vector<PhaseCongestion> out;
+  out.reserve(bucket_order_.size());
+  for (const PhaseId id : bucket_order_) {
+    PhaseCongestion pc;
+    pc.phase = id;
+    for (const Shard& sh : shards_) {
+      const auto it = sh.buckets.find(id);
+      if (it == sh.buckets.end()) continue;
+      pc.occupancy += it->second.occupancy;
+      pc.links += static_cast<index_t>(it->second.load.size());
+      pc.peak = std::max(pc.peak, it->second.peak);
+    }
+    out.push_back(pc);
+  }
+  return out;
+}
+
+index_t ShardedCongestionMap::phase_peak(PhaseId id) const {
+  index_t peak = 0;
+  for (const Shard& sh : shards_) {
+    const auto it = sh.buckets.find(id);
+    if (it != sh.buckets.end()) peak = std::max(peak, it->second.peak);
+  }
+  return peak;
+}
+
+index_t ShardedCongestionMap::congested_clock() const {
+  // The serial map maintains this incrementally; the final value is the
+  // sum over buckets of the bucket's final peak, which folds exactly
+  // from disjoint shards (max over shards of per-shard peak).
+  index_t clock = 0;
+  for (const PhaseId id : bucket_order_) clock += phase_peak(id);
+  return clock;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedLoadMap
+
+ShardedLoadMap::ShardedLoadMap(const Config& cfg) {
+  const Config norm = normalized(cfg);
+  tiling_ = Tiling(norm.tile_rows, norm.tile_cols, norm.threads);
+  const auto s = static_cast<std::size_t>(tiling_.shards());
+  shards_.resize(s);
+  queues_.resize(s * s);
+  cross_.assign(s, 0);
+}
+
+template <typename Fn>
+void ShardedLoadMap::for_each_cell_segment(Coord from, Coord to,
+                                           Fn&& fn) const {
+  // LoadMap's walk bumps every path cell endpoints-inclusive: the start
+  // cell, each cell of the row run at from.col, then each *new* cell of
+  // the column run at to.row (the corner is counted once). That is one
+  // inclusive vertical run [from.row..to.row] x {from.col} plus a
+  // horizontal run at to.row excluding from.col.
+  {
+    const index_t lo = std::min(from.row, to.row);
+    const index_t hi = std::max(from.row, to.row);
+    index_t r = lo;
+    while (r <= hi) {
+      const index_t band_end = std::min(hi, tiling_.next_row_band(r) - 1);
+      fn(tiling_.shard_of(tiling_.tile_of(Coord{r, from.col})),
+         Segment{r, from.col, band_end - r + 1, kDown});
+      r = band_end + 1;
+    }
+  }
+  if (to.col != from.col) {
+    const index_t lo = to.col > from.col ? from.col + 1 : to.col;
+    const index_t hi = to.col > from.col ? to.col : from.col - 1;
+    index_t c = lo;
+    while (c <= hi) {
+      const index_t band_end = std::min(hi, tiling_.next_col_band(c) - 1);
+      fn(tiling_.shard_of(tiling_.tile_of(Coord{to.row, c})),
+         Segment{to.row, c, band_end - c + 1, kRight});
+      c = band_end + 1;
+    }
+  }
+}
+
+void ShardedLoadMap::apply_segment(Shard& shard, const Segment& seg) {
+  const bool vertical = seg.dir == kUp || seg.dir == kDown;
+  Coord cur{seg.row, seg.col};
+  for (index_t i = 0; i < seg.count; ++i) {
+    index_t& slot = shard.load[{cur.row, cur.col}];
+    ++slot;
+    ++shard.total;
+    shard.peak = std::max(shard.peak, slot);
+    if (vertical) {
+      ++cur.row;
+    } else {
+      ++cur.col;
+    }
+  }
+}
+
+void ShardedLoadMap::apply_serial(Coord from, Coord to) {
+  for_each_cell_segment(from, to, [&](int owner, const Segment& seg) {
+    apply_segment(shards_[static_cast<std::size_t>(owner)], seg);
+  });
+}
+
+void ShardedLoadMap::on_message(Coord from, Coord to, index_t distance) {
+  assert(distance == manhattan(from, to));
+  (void)distance;
+  ++messages_;
+  // Matches LoadMap::on_message: even a zero-distance message bumps its
+  // (single) cell — the inclusive vertical run covers exactly that.
+  apply_serial(from, to);
+}
+
+void ShardedLoadMap::on_send_bulk(std::span<const MessageEvent> batch) {
+  index_t charged = 0;
+  for (const MessageEvent& e : batch) {
+    if (e.distance != 0) ++charged;
+  }
+  if (charged == 0) return;
+  messages_ += charged;
+  Engine* const eng = engine();
+  if (eng != nullptr && eng->tiling() == tiling_ &&
+      static_cast<index_t>(batch.size()) >= eng->config().min_parallel_batch) {
+    const int shards = tiling_.shards();
+    for (auto& q : queues_) q.clear();
+    const MessageEvent* const data = batch.data();
+    const std::size_t n = batch.size();
+    eng->run([&](int w) {
+      std::vector<Segment>* const outq =
+          &queues_[static_cast<std::size_t>(w) *
+                   static_cast<std::size_t>(shards)];
+      Shard& mine = shards_[static_cast<std::size_t>(w)];
+      std::uint64_t cross = 0;
+      const auto [lo, hi] = eng->slice(n, w);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const MessageEvent& e = data[i];
+        if (e.distance == 0) continue;
+        for_each_cell_segment(e.from, e.to, [&](int owner, const Segment& seg) {
+          if (owner == w) {
+            apply_segment(mine, seg);
+          } else {
+            outq[owner].push_back(seg);
+            ++cross;
+          }
+        });
+      }
+      cross_[static_cast<std::size_t>(w)] = cross;
+      eng->sync();
+      for (int p = 0; p < shards; ++p) {
+        if (p == w) continue;
+        const auto& inq = queues_[static_cast<std::size_t>(p) *
+                                      static_cast<std::size_t>(shards) +
+                                  static_cast<std::size_t>(w)];
+        for (const Segment& seg : inq) apply_segment(mine, seg);
+      }
+    });
+    for (int w = 0; w < shards; ++w) {
+      cross_tile_segments_ += cross_[static_cast<std::size_t>(w)];
+    }
+    ++parallel_batches_;
+  } else {
+    for (const MessageEvent& e : batch) {
+      if (e.distance != 0) apply_serial(e.from, e.to);
+    }
+  }
+}
+
+index_t ShardedLoadMap::load_at(Coord c) const {
+  const int owner = tiling_.shard_of(tiling_.tile_of(c));
+  const Shard& sh = shards_[static_cast<std::size_t>(owner)];
+  const auto it = sh.load.find({c.row, c.col});
+  return it == sh.load.end() ? 0 : it->second;
+}
+
+index_t ShardedLoadMap::total_load() const {
+  index_t total = 0;
+  for (const Shard& sh : shards_) total += sh.total;
+  return total;
+}
+
+index_t ShardedLoadMap::max_load() const {
+  index_t peak = 0;
+  for (const Shard& sh : shards_) peak = std::max(peak, sh.peak);
+  return peak;
+}
+
+index_t ShardedLoadMap::touched_cells() const {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) n += sh.load.size();
+  return static_cast<index_t>(n);
+}
+
+std::vector<std::pair<Coord, index_t>> ShardedLoadMap::sorted_loads() const {
+  std::vector<std::pair<Coord, index_t>> all;
+  all.reserve(static_cast<std::size_t>(touched_cells()));
+  for (const Shard& sh : shards_) {
+    for (const auto& [cell, count] : sh.load) {
+      all.push_back({Coord{cell.first, cell.second}, count});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.first.row != b.first.row) return a.first.row < b.first.row;
+    return a.first.col < b.first.col;
+  });
+  return all;
+}
+
+void ShardedLoadMap::clear() {
+  for (Shard& sh : shards_) {
+    sh.load.clear();
+    sh.total = 0;
+    sh.peak = 0;
+  }
+  messages_ = 0;
+  parallel_batches_ = 0;
+  cross_tile_segments_ = 0;
+}
+
+}  // namespace scm::parallel

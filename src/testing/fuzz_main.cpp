@@ -8,8 +8,12 @@
 //   scm_fuzz --time-budget=300 ...
 //       the nightly tier: wall-clock budgeted instead of case-counted.
 //
-//   scm_fuzz --replay=<seed>:<case>
-//       deterministically re-runs exactly one failing case from its token.
+//   scm_fuzz --replay=<seed>:<case>[:t<threads>x<rows>x<cols>]
+//       deterministically re-runs exactly one failing case from its token;
+//       the optional suffix (emitted when a failure was found under the
+//       sharded parallel engine) replays under that exact engine shape.
+//       --parallel-every=N / --parallel-threads=T / --parallel-tile=WxH
+//       tune the parallel-oracle cadence of the main loop (0 disables).
 //
 //   scm_fuzz --fit-bounds --bounds=testing/bounds.json --cases=4000 \
 //       --fit-seeds=1,2,3
@@ -24,6 +28,7 @@
 #include "testing/runner.hpp"
 #include "util/cli.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -69,6 +74,24 @@ int main(int argc, char** argv) {
   config.metamorphic_every =
       cli.get_int("metamorphic-every", config.metamorphic_every);
   config.ab_every = cli.get_int("ab-every", config.ab_every);
+  config.parallel_every =
+      cli.get_int("parallel-every", config.parallel_every);
+  config.parallel_threads = static_cast<int>(
+      cli.get_int("parallel-threads", config.parallel_threads));
+  if (const std::string tile = cli.get("parallel-tile", ""); !tile.empty()) {
+    // WxH, matching SCM_TILE and ProfileSession's --tile.
+    long long w = 0;
+    long long h = 0;
+    if (std::sscanf(tile.c_str(), "%lldx%lld", &w, &h) == 2 && w > 0 &&
+        h > 0) {
+      config.parallel_tile_cols = static_cast<scm::index_t>(w);
+      config.parallel_tile_rows = static_cast<scm::index_t>(h);
+    } else {
+      std::cerr << "fuzz: bad --parallel-tile '" << tile
+                << "' (expected WxH)\n";
+      return 2;
+    }
+  }
   config.shrink_attempts =
       cli.get_int("shrink-attempts", config.shrink_attempts);
   config.fit = cli.has("fit-bounds");
@@ -104,7 +127,7 @@ int main(int argc, char** argv) {
                                                        std::cout);
     if (!replayed) {
       std::cerr << "fuzz: malformed replay token '" << replay_token
-                << "' (expected <seed>:<case>)\n";
+                << "' (expected <seed>:<case>[:t<threads>x<rows>x<cols>])\n";
       return 2;
     }
     report = std::move(*replayed);

@@ -1,10 +1,12 @@
 // Tests of the bench-harness utilities: exponent fitting, series
 // registration and claim checking, table printing, CLI parsing, and the
 // COO generators.
+#include "spatial/parallel.hpp"
 #include "spmv/generators.hpp"
 #include "util/cli.hpp"
 #include "util/fit.hpp"
 #include "util/json.hpp"
+#include "util/profile_session.hpp"
 #include "util/series.hpp"
 #include "util/table.hpp"
 
@@ -217,6 +219,44 @@ TEST(Cli, WarnUnknownExemptsBenchmarkFlags) {
   EXPECT_EQ(cli.warn_unknown(os), 1);
   EXPECT_NE(os.str().find("--mystery"), std::string::npos);
   EXPECT_EQ(os.str().find("benchmark"), std::string::npos);
+}
+
+TEST(ProfileSessionFlags, ThreadsAndTileConfigureTheParallelEngine) {
+  const parallel::Config saved = parallel::config();
+  {
+    const char* argv[] = {"prog", "--threads=2", "--tile=16x8"};
+    util::Cli cli(3, const_cast<char**>(argv));
+    const util::ProfileSession session(cli);
+    // Parallel flags alone don't turn on profiling artifacts...
+    EXPECT_FALSE(session.active());
+    // ...but they install the engine: 2 workers, 16-column x 8-row tiles.
+    EXPECT_EQ(parallel::config().threads, 2);
+    EXPECT_EQ(parallel::config().tile_cols, 16);
+    EXPECT_EQ(parallel::config().tile_rows, 8);
+    EXPECT_NE(parallel::engine(), nullptr);
+    // Both flags are queried, so warn_unknown has nothing to report.
+    std::ostringstream os;
+    EXPECT_EQ(cli.warn_unknown(os), 0) << os.str();
+  }
+  parallel::configure(saved);
+}
+
+TEST(ProfileSessionFlags, DefaultStaysScalarAndBadTileIsIgnored) {
+  const parallel::Config saved = parallel::config();
+  {
+    const char* argv[] = {"prog"};
+    util::Cli cli(1, const_cast<char**>(argv));
+    const util::ProfileSession session(cli);
+    EXPECT_EQ(parallel::config(), saved);  // no flags: configuration kept
+  }
+  {
+    const char* argv[] = {"prog", "--tile=bogus"};
+    util::Cli cli(2, const_cast<char**>(argv));
+    const util::ProfileSession session(cli);  // warns on stderr, ignores
+    EXPECT_EQ(parallel::config().tile_rows, saved.tile_rows);
+    EXPECT_EQ(parallel::config().tile_cols, saved.tile_cols);
+  }
+  parallel::configure(saved);
 }
 
 TEST(Json, ParsesTheValueGrammar) {
