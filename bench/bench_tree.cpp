@@ -1,0 +1,221 @@
+// Tree-algorithm workload tier (Sections V-VI primitives composed over
+// Euler tours): tour construction, rootfix/leaffix reductions, rake-and-
+// compress contraction, and batched LCA.
+//
+// Energy is sort-dominated at Theta(m^{3/2}) per round (m = 2(n-1) arcs);
+// the Wyllie ranking and contraction loops add an O(log n) round factor,
+// so the swept log-log energy slopes sit slightly above 1.5. Depth stays
+// polylogarithmic and distance Theta(sqrt m) per round. The fitted
+// exponents are recorded in BENCH_simulator.json and guarded by CI.
+#include "bench_common.hpp"
+
+#include "collectives/operators.hpp"
+#include "testing/gen.hpp"
+#include "tree/contraction.hpp"
+#include "tree/euler.hpp"
+#include "tree/lca.hpp"
+#include "tree/reductions.hpp"
+#include "tree/tree.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using namespace scm;
+
+/// A seeded tree of the given shape, rooted at a seeded vertex.
+tree::DenseTree bench_tree(index_t n, testing::TreeShape shape,
+                           std::uint64_t seed) {
+  testing::Rng rng(seed);
+  tree::Tree t;
+  t.n = n;
+  t.edges = testing::gen_tree(rng, n, shape);
+  t.root = rng.uniform(0, n - 1);
+  return tree::normalize(t);
+}
+
+/// Dense-indexed signed vertex values.
+std::vector<std::int64_t> bench_values(index_t n, std::uint64_t seed) {
+  testing::Rng rng(seed);
+  std::vector<std::int64_t> v(static_cast<size_t>(n));
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.uniform(0, 100)) - 50;
+  return v;
+}
+
+void BM_EulerTour(benchmark::State& state) {
+  const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
+  const tree::DenseTree t =
+      bench_tree(n, testing::TreeShape::kRandomPrufer, 41);
+  for (auto _ : state) {
+    Machine m;
+    benchmark::DoNotOptimize(tree::euler_tour(m, t, {0, 0}));
+    bench::report(state, "tree/euler", static_cast<double>(2 * (n - 1)),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_EulerTour)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TreeReduce(benchmark::State& state) {
+  const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
+  const tree::DenseTree t =
+      bench_tree(n, testing::TreeShape::kRandomPrufer, 43);
+  const auto vals = bench_values(n, 44);
+  const auto neg = [](std::int64_t x) { return -x; };
+  for (auto _ : state) {
+    Machine m;
+    const tree::EulerTour tour = tree::euler_tour(m, t, {0, 0});
+    benchmark::DoNotOptimize(
+        tree::rootfix(m, tour, vals, Plus{}, neg));
+    benchmark::DoNotOptimize(tree::leaffix(m, tour, vals,
+                                           Plus{}, neg,
+                                           std::int64_t{0}));
+    bench::report(state, "tree/reduce", static_cast<double>(2 * (n - 1)),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_TreeReduce)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TreeContract(benchmark::State& state) {
+  const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
+  const tree::DenseTree t =
+      bench_tree(n, testing::TreeShape::kRandomPrufer, 47);
+  const auto vals = bench_values(n, 48);
+  for (auto _ : state) {
+    Machine m;
+    benchmark::DoNotOptimize(tree::tree_contract(
+        m, t, vals, Plus{}, /*salt=*/0xb5, {0, 0}));
+    bench::report(state, "tree/contract", static_cast<double>(2 * (n - 1)),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_TreeContract)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Lca(benchmark::State& state) {
+  const index_t n = state.range(0);
+  if (bench::skip_outside_sweep(state, n)) return;
+  const tree::DenseTree t =
+      bench_tree(n, testing::TreeShape::kRandomPrufer, 53);
+  testing::Rng rng(54);
+  const index_t q = n / 4;
+  std::vector<std::pair<index_t, index_t>> queries(
+      static_cast<size_t>(q));
+  for (auto& [a, b] : queries) {
+    a = rng.uniform(0, n - 1);
+    b = rng.uniform(0, n - 1);
+  }
+  for (auto _ : state) {
+    Machine m;
+    const tree::EulerTour tour = tree::euler_tour(m, t, {0, 0});
+    benchmark::DoNotOptimize(tree::lca(m, t, tour, queries, {0, 0}));
+    bench::report(state, "tree/lca", static_cast<double>(2 * (n - 1)),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_Lca)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Fixed-size shape sweep: the adversarial generator families from the
+/// fuzzer, benchmarked head-to-head at n = 512.
+void BM_EulerTourShape(benchmark::State& state) {
+  const index_t n = 512;
+  testing::TreeShape shape = testing::TreeShape::kPath;
+  switch (state.range(0)) {
+    case 0: shape = testing::TreeShape::kPath; break;
+    case 1: shape = testing::TreeShape::kStar; break;
+    case 2: shape = testing::TreeShape::kCaterpillar; break;
+    case 3: shape = testing::TreeShape::kBalancedBinary; break;
+    default: shape = testing::TreeShape::kRandomPrufer; break;
+  }
+  const std::string name =
+      std::string("tree/euler/") + testing::to_string(shape);
+  const tree::DenseTree t = bench_tree(n, shape, 59);
+  for (auto _ : state) {
+    Machine m;
+    benchmark::DoNotOptimize(tree::euler_tour(m, t, {0, 0}));
+    bench::report(state, name, static_cast<double>(2 * (n - 1)),
+                  m.metrics());
+  }
+}
+BENCHMARK(BM_EulerTourShape)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  scm::util::Cli cli(argc, argv);
+  scm::bench::configure_sweep(cli);
+  scm::util::ProfileSession profile(cli);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  profile.finish();
+
+  scm::bench::print_series(
+      "Tree tier / Euler tour (sort + Wyllie ranking)", "tree/euler",
+      {{"energy", false, 1.5, 0.35, "Theta(m^1.5 log m) worst case"},
+       {"depth", true, 3.0, 0.7, "O(log^3 n)"},
+       {"distance", false, 0.5, 0.35, "O(sqrt m log m)"}});
+  scm::bench::print_series(
+      "Tree tier / rootfix + leaffix (segmented scans on the tour)",
+      "tree/reduce",
+      {{"energy", false, 1.5, 0.35, "Theta(m^1.5 log m) worst case"},
+       {"depth", true, 3.0, 0.7, "O(log^3 n)"},
+       {"distance", false, 0.5, 0.35, "O(sqrt m log m)"}});
+  scm::bench::print_series(
+      "Tree tier / rake-and-compress contraction", "tree/contract",
+      {{"energy", false, 1.5, 0.35, "O(m^1.5 log n)"},
+       {"depth", true, 3.0, 0.9, "O(log^2 n) rounds x O(log n)"},
+       {"distance", false, 0.5, 0.35, "O(sqrt m log n)"}});
+  scm::bench::print_series(
+      "Tree tier / batched LCA (tour + RMQ), q = n/4", "tree/lca",
+      {{"energy", false, 1.5, 0.35, "Theta(m^1.5 log m) worst case"},
+       {"depth", true, 3.0, 0.9, "O(log^3 n)"},
+       {"distance", false, 0.5, 0.45, "O(sqrt m log m)"}});
+  for (const char* shape :
+       {"tree/euler/path", "tree/euler/star", "tree/euler/caterpillar",
+        "tree/euler/balanced-binary", "tree/euler/random-prufer"}) {
+    scm::bench::print_series(std::string("tree shape: ") + shape, shape,
+                             {});
+  }
+  return 0;
+}

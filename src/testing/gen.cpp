@@ -267,6 +267,100 @@ std::vector<std::pair<index_t, index_t>> gen_edges(Rng& rng, index_t n,
   return edges;
 }
 
+const char* to_string(TreeShape shape) {
+  switch (shape) {
+    case TreeShape::kNone: return "none";
+    case TreeShape::kPath: return "path";
+    case TreeShape::kStar: return "star";
+    case TreeShape::kCaterpillar: return "caterpillar";
+    case TreeShape::kBalancedBinary: return "balanced-binary";
+    case TreeShape::kRandomPrufer: return "random-prufer";
+  }
+  return "?";
+}
+
+std::vector<std::pair<index_t, index_t>> gen_tree(Rng& rng, index_t n,
+                                                  TreeShape shape) {
+  assert(n >= 1);
+  assert(shape != TreeShape::kNone);
+  // 1. The structural skeleton on canonical labels 0..n-1.
+  std::vector<std::pair<index_t, index_t>> edges;
+  edges.reserve(static_cast<size_t>(n - 1));
+  switch (shape) {
+    case TreeShape::kNone:
+      break;
+    case TreeShape::kPath:
+      for (index_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+      break;
+    case TreeShape::kStar:
+      for (index_t i = 1; i < n; ++i) edges.emplace_back(0, i);
+      break;
+    case TreeShape::kCaterpillar: {
+      // A spine of roughly n/2 vertices; every other vertex hangs off it.
+      const index_t spine = std::max<index_t>(1, n / 2);
+      for (index_t i = 0; i + 1 < spine; ++i) edges.emplace_back(i, i + 1);
+      for (index_t v = spine; v < n; ++v) {
+        edges.emplace_back((v - spine) % spine, v);
+      }
+      break;
+    }
+    case TreeShape::kBalancedBinary:
+      for (index_t i = 1; i < n; ++i) edges.emplace_back((i - 1) / 2, i);
+      break;
+    case TreeShape::kRandomPrufer: {
+      if (n == 2) {
+        edges.emplace_back(0, 1);
+        break;
+      }
+      if (n < 2) break;
+      // Pruefer decoding: a uniformly random labeled tree.
+      std::vector<index_t> code(static_cast<size_t>(n - 2));
+      for (auto& c : code) c = rng.uniform(0, n - 1);
+      std::vector<index_t> deg(static_cast<size_t>(n), 1);
+      for (const index_t c : code) ++deg[static_cast<size_t>(c)];
+      // `leaf` walks the smallest unused leaf; `ptr` tracks candidates.
+      index_t ptr = 0;
+      while (deg[static_cast<size_t>(ptr)] != 1) ++ptr;
+      index_t leaf = ptr;
+      for (const index_t c : code) {
+        edges.emplace_back(leaf, c);
+        if (--deg[static_cast<size_t>(c)] == 1 && c < ptr) {
+          leaf = c;
+        } else {
+          ++ptr;
+          while (deg[static_cast<size_t>(ptr)] != 1) ++ptr;
+          leaf = ptr;
+        }
+      }
+      edges.emplace_back(leaf, n - 1);
+      break;
+    }
+  }
+  assert(static_cast<index_t>(edges.size()) == n - 1);
+  // 2. Hide the construction: random relabeling, edge shuffle, orientation
+  // flips. Downstream algorithms must not benefit from canonical order.
+  const std::vector<index_t> relabel = gen_permutation(rng, n);
+  for (auto& [u, v] : edges) {
+    u = relabel[static_cast<size_t>(u)];
+    v = relabel[static_cast<size_t>(v)];
+    if (rng.chance(0.5)) std::swap(u, v);
+  }
+  for (index_t i = static_cast<index_t>(edges.size()) - 1; i > 0; --i) {
+    const index_t j = rng.uniform(0, i);
+    std::swap(edges[static_cast<size_t>(i)], edges[static_cast<size_t>(j)]);
+  }
+  return edges;
+}
+
+TreeShape gen_tree_shape(Rng& rng) {
+  static constexpr TreeShape kShapes[] = {
+      TreeShape::kPath,           TreeShape::kStar,
+      TreeShape::kCaterpillar,    TreeShape::kBalancedBinary,
+      TreeShape::kRandomPrufer,   TreeShape::kRandomPrufer,
+  };
+  return kShapes[rng.uniform(0, std::size(kShapes) - 1)];
+}
+
 std::vector<index_t> gen_pram_schedule(Rng& rng, index_t p, index_t steps) {
   std::vector<index_t> flat;
   flat.reserve(static_cast<size_t>(2 * steps * p));

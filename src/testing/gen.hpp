@@ -142,6 +142,35 @@ struct Geometry {
                                                                  index_t n,
                                                                  index_t m);
 
+/// Structural families of random trees, biased toward the shapes that
+/// stress different corners of the tree pipeline: paths maximize list-
+/// ranking rounds and contraction compress chains, stars maximize segment
+/// fan-in and one-round rakes, caterpillars mix both, balanced binary
+/// trees exercise the generic recursion, and Pruefer decoding covers the
+/// uniform distribution over all labeled trees. kNone marks non-tree
+/// cases in CaseInput.
+enum class TreeShape {
+  kNone,            // not a tree case
+  kPath,            // 0-1-2-...-(n-1) before relabeling
+  kStar,            // one center, n-1 leaves
+  kCaterpillar,     // a spine with leaves hanging off it
+  kBalancedBinary,  // heap-shaped: parent(i) = (i-1)/2
+  kRandomPrufer,    // uniform labeled tree via Pruefer decoding
+};
+
+[[nodiscard]] const char* to_string(TreeShape shape);
+
+/// A random tree of `shape` on n labeled vertices (root 0 pre-relabel):
+/// the structural skeleton is relabeled by a random permutation, the edge
+/// list shuffled, and each edge's orientation flipped with probability
+/// 1/2 — so no generator family leaks a canonical vertex order to the
+/// algorithms. Single-vertex (n == 1) trees have an empty edge list.
+[[nodiscard]] std::vector<std::pair<index_t, index_t>> gen_tree(
+    Rng& rng, index_t n, TreeShape shape);
+
+/// A random tree shape (uniform over the concrete families).
+[[nodiscard]] TreeShape gen_tree_shape(Rng& rng);
+
 /// A random EREW-safe straight-line PRAM program schedule: for each of
 /// `steps` synchronous steps, a read permutation and a write permutation
 /// over the p cells (permutations make every step's accesses exclusive by

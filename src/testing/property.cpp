@@ -44,6 +44,9 @@ std::string CaseInput::str() const {
     os << " vertices=" << n_vertices << " edges=" << edges.size();
   }
   if (pram_steps > 0) os << " pram_steps=" << pram_steps;
+  if (tree_shape != TreeShape::kNone) {
+    os << " tree=" << to_string(tree_shape);
+  }
   if (n <= 16 && !keys.empty()) {
     os << " keys=[";
     for (size_t i = 0; i < keys.size(); ++i) {
@@ -1264,6 +1267,8 @@ const std::vector<Property>& all_properties() {
     all.push_back(make_spmv());
     all.push_back(make_components());
     all.push_back(make_pram_erew());
+    append_tree_properties(all);  // euler_tour, tree_reduce, tree_contract,
+                                  // tree_lca (testing/property_tree.cpp)
     return all;
   }();
   return props;

@@ -55,6 +55,11 @@ struct CaseInput {
   // cells (see gen_pram_schedule).
   index_t pram_steps{0};
   std::vector<index_t> pram_sched;
+  // Tree instances: the generator family the edge list came from (kNone
+  // for every non-tree property, keeping their equality and str() output
+  // unchanged). The tree itself rides in `edges`, its root in `k` - 1,
+  // per-vertex values in `keys`, flattened LCA query pairs in `perm`.
+  TreeShape tree_shape{TreeShape::kNone};
 
   /// One-line description; full element dump when the instance is small
   /// (shrunk reports), sizes only otherwise.
@@ -93,6 +98,12 @@ struct Property {
   /// reflection of the occupied subgrid), std::nullopt otherwise. Null for
   /// properties with no reflection oracle.
   std::function<std::optional<CaseInput>(const CaseInput&)> reflect;
+  /// The same instance under a salted random renaming of its identifier
+  /// space (vertex labels for the tree/graph properties). All three
+  /// metrics and the per-link occupancy multiset must be bit-identical:
+  /// algorithms address through dense normalized ids, so the labeling
+  /// must be unobservable. Null for properties with no renaming oracle.
+  std::function<CaseInput(const CaseInput&, std::uint64_t salt)> relabel;
   /// Repairs an instance after the shrinker changed its structure (n,
   /// element drops): re-derives dependent fields (geometry, clamped ranks,
   /// schedule shapes) so `valid` can accept the candidate. Null = the
@@ -108,6 +119,11 @@ struct Property {
 
 /// Registry lookup by name; nullptr when absent.
 [[nodiscard]] const Property* find_property(const std::string& name);
+
+/// Registers the tree-workload properties (euler_tour, tree_reduce,
+/// tree_contract, tree_lca — testing/property_tree.cpp) at the tail of
+/// the registry. Called once from all_properties().
+void append_tree_properties(std::vector<Property>& out);
 
 /// Default translation: shifts the geometry region by `delta`.
 [[nodiscard]] CaseInput translate_geometry(const CaseInput& in, Coord delta);

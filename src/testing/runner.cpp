@@ -272,6 +272,35 @@ FuzzRunner::Verdict FuzzRunner::evaluate(const Property& prop,
                   shifted.outcome.failure};
     }
   }
+  if (check_metamorphic && prop.relabel) {
+    // A random renaming of the identifier space (vertex labels): the
+    // algorithms address through dense normalized ids, so every message
+    // vector — hence all metrics and the link-occupancy multiset — must
+    // be bit-identical, not merely asymptotically equal.
+    const CaseInput renamed =
+        prop.relabel(in, in.algo_seed ^ 0x9e3779b97f4a7c15ULL);
+    const Execution named = execute(prop, renamed, /*track_congestion=*/true);
+    if (!(named.metrics == base.metrics)) {
+      std::ostringstream os;
+      os << "metrics changed under relabeling: base " << base.metrics.str()
+         << " vs renamed " << named.metrics.str();
+      return {false, "metamorphic:relabel", os.str()};
+    }
+    if (named.link_multiset != base.link_multiset) {
+      std::ostringstream os;
+      os << "link-occupancy multiset changed under relabeling: base "
+         << base.link_multiset.size() << " links peak "
+         << base.peak_link_load << " vs renamed "
+         << named.link_multiset.size() << " links peak "
+         << named.peak_link_load;
+      return {false, "metamorphic:relabel", os.str()};
+    }
+    if (!named.outcome.ok) {
+      return {false, "metamorphic:relabel",
+              "relabeled instance failed functionally: " +
+                  named.outcome.failure};
+    }
+  }
   if (check_metamorphic && prop.reflect) {
     if (const std::optional<CaseInput> mirrored = prop.reflect(in)) {
       // Reflection reverses columns; every message's length is preserved,

@@ -1,0 +1,55 @@
+// Batched lowest-common-ancestor queries via Euler tour + range minimum.
+//
+// Classic reduction: write down the tour's vertex occurrence sequence
+// O[0..m] (O[0] = root, O[r+1] = head of tour arc r) with depths; then
+// LCA(a, b) is the vertex of minimum depth on O between the first
+// occurrences of a and b. The pipeline:
+//
+//   occ       — one bulk batch materializes the occurrence array from the
+//               tour square (depth_to is already resident per arc).
+//   rmq       — a 4-ary min upsweep over the occurrence square, nodes
+//               placed exactly like the scan tree of collectives/scan.hpp
+//               (node (lo, h) at Z-order position lo + h, at most two
+//               values per cell — Fig. 1a of the SCM paper).
+//   endpoints — queries are sorted by each endpoint in turn; one segment
+//               leader per distinct endpoint fetches first[v] from the
+//               vertex square (request/reply, <= 1 pair per vertex cell)
+//               and a segmented First-broadcast fans it out; a final
+//               permutation routing restores query order.
+//   walk      — each query min-combines the O(log m) canonical RMQ cover
+//               of its range. Queries run in groups of <= 16 and each
+//               step is its own phase, so a popular tree node serves at
+//               most 16 request/reply pairs per conformance epoch.
+//
+// Costs for q queries on an m-arc tour: the two query sorts give
+// O(q^{3/2}) energy; occ/rmq add O(m); the walks add O((q + W) * sqrt(m))
+// energy and O(groups * log m) depth, W = total cover nodes fetched.
+#pragma once
+
+#include "spatial/grid_array.hpp"
+#include "spatial/machine.hpp"
+#include "tree/euler.hpp"
+#include "tree/tree.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace scm::tree {
+
+struct LcaResult {
+  std::vector<index_t> answers;  ///< dense ids, one per query, query order
+  index_t walk_nodes{0};         ///< total RMQ cover nodes fetched
+  index_t groups{0};             ///< query groups walked (<= 16 each)
+  index_t max_len{0};            ///< longest canonical cover
+};
+
+/// Answers `queries` (pairs of dense vertex ids) against the tour of `t`.
+/// `origin` must be the origin the tour was built at; the occurrence and
+/// query squares are placed right of the tour square.
+[[nodiscard]] LcaResult lca(Machine& m, const DenseTree& t,
+                            const EulerTour& tour,
+                            const std::vector<std::pair<index_t, index_t>>&
+                                queries,
+                            Coord origin);
+
+}  // namespace scm::tree

@@ -1,0 +1,268 @@
+// Tree-workload input representation and host-reference oracles.
+//
+// The spatial tree algorithms (Euler tour, rootfix/leaffix, contraction,
+// LCA — the companion paper "Low-Depth Spatial Tree Algorithms", Baumann
+// et al.) consume an unrooted tree as an edge list with a designated root.
+// Vertex labels are arbitrary; before anything touches the Machine the
+// tree is *normalized* to dense first-appearance ids (root becomes 0,
+// then endpoints in edge-scan order). Every message the algorithms send
+// is addressed through dense ids only, which makes all three metrics —
+// and the per-link occupancy multiset — bit-identical under any vertex
+// relabeling: the metamorphic oracle the fuzzer checks.
+//
+// The host references here are deliberately simple (adjacency walks,
+// union-find, parent-chasing) and independent of the spatial pipeline;
+// they are the functional oracles of the fuzzer properties and the unit
+// tests.
+#pragma once
+
+#include "spatial/geometry.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace scm::tree {
+
+/// An unrooted tree on labeled vertices plus a designated root. Labels are
+/// arbitrary ids in [0, n); edge order is meaningful (it fixes the Euler
+/// tour's traversal order) and both orientations of an edge are legal.
+struct Tree {
+  index_t n{0};
+  std::vector<std::pair<index_t, index_t>> edges;  ///< n - 1 edges
+  index_t root{0};
+};
+
+/// Structural validity: n >= 1, exactly n - 1 edges with in-range distinct
+/// endpoints, acyclic and connected (union-find), root in range.
+[[nodiscard]] inline bool is_tree(const Tree& t) {
+  if (t.n < 1) return false;
+  if (t.root < 0 || t.root >= t.n) return false;
+  if (static_cast<index_t>(t.edges.size()) != t.n - 1) return false;
+  std::vector<index_t> parent(static_cast<size_t>(t.n));
+  std::iota(parent.begin(), parent.end(), index_t{0});
+  auto find = [&](index_t v) {
+    while (parent[static_cast<size_t>(v)] != v) {
+      parent[static_cast<size_t>(v)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(v)])];
+      v = parent[static_cast<size_t>(v)];
+    }
+    return v;
+  };
+  for (const auto& [u, v] : t.edges) {
+    if (u < 0 || u >= t.n || v < 0 || v >= t.n || u == v) return false;
+    const index_t ru = find(u);
+    const index_t rv = find(v);
+    if (ru == rv) return false;  // cycle
+    parent[static_cast<size_t>(ru)] = rv;
+  }
+  return true;  // n - 1 acyclic edges on n vertices => connected
+}
+
+/// The dense-id form of a tree: the root maps to 0, remaining vertices get
+/// first-appearance ids in edge-scan order. Edge order and orientation are
+/// preserved. `to_label` / `to_dense` convert between the two id spaces.
+struct DenseTree {
+  index_t n{0};
+  std::vector<std::pair<index_t, index_t>> edges;  ///< dense endpoints
+  std::vector<index_t> to_label;                   ///< dense -> original
+  std::vector<index_t> to_dense;                   ///< original -> dense
+};
+
+/// First-appearance normalization. Precondition: is_tree(t).
+[[nodiscard]] inline DenseTree normalize(const Tree& t) {
+  assert(is_tree(t));
+  DenseTree out;
+  out.n = t.n;
+  out.to_dense.assign(static_cast<size_t>(t.n), -1);
+  out.to_label.reserve(static_cast<size_t>(t.n));
+  auto dense_of = [&](index_t label) {
+    index_t& d = out.to_dense[static_cast<size_t>(label)];
+    if (d < 0) {
+      d = static_cast<index_t>(out.to_label.size());
+      out.to_label.push_back(label);
+    }
+    return d;
+  };
+  (void)dense_of(t.root);  // the root is dense id 0
+  out.edges.reserve(t.edges.size());
+  for (const auto& [u, v] : t.edges) {
+    out.edges.emplace_back(dense_of(u), dense_of(v));
+  }
+  // A connected tree mentions every vertex in its edges (or n == 1).
+  assert(static_cast<index_t>(out.to_label.size()) == t.n);
+  return out;
+}
+
+/// Host reference of the Euler tour over a dense tree: per-vertex parent /
+/// depth / first and last tour rank, derived by walking the circuit with
+/// the same successor rule the spatial pipeline realizes (next arc after
+/// the twin, cyclically, within the head vertex's arc list in edge-scan
+/// order). first[root] == -1 and last[root] == 2 * (n - 1) by convention.
+struct HostTour {
+  std::vector<index_t> parent;  ///< dense parent; -1 at the root
+  std::vector<index_t> depth;
+  std::vector<index_t> first;  ///< tour rank of the arc entering v
+  std::vector<index_t> last;   ///< tour rank of the arc leaving v upward
+  std::vector<index_t> rank;   ///< arc id (2e / 2e+1) -> tour rank
+};
+
+[[nodiscard]] inline HostTour host_euler_tour(const DenseTree& t) {
+  const index_t n = t.n;
+  HostTour out;
+  out.parent.assign(static_cast<size_t>(n), -1);
+  out.depth.assign(static_cast<size_t>(n), 0);
+  out.first.assign(static_cast<size_t>(n), -1);
+  out.last.assign(static_cast<size_t>(n), 0);
+  const index_t m = 2 * (n - 1);
+  out.rank.assign(static_cast<size_t>(m), -1);
+  out.last[0] = m;
+  if (n == 1) return out;
+  // Arc 2e = (u, v), arc 2e+1 = (v, u); adjacency lists in arc-id order.
+  std::vector<std::vector<index_t>> adj(static_cast<size_t>(n));
+  std::vector<index_t> local(static_cast<size_t>(m));
+  auto arc_from = [&](index_t a) {
+    const auto& e = t.edges[static_cast<size_t>(a / 2)];
+    return (a % 2 == 0) ? e.first : e.second;
+  };
+  auto arc_to = [&](index_t a) {
+    const auto& e = t.edges[static_cast<size_t>(a / 2)];
+    return (a % 2 == 0) ? e.second : e.first;
+  };
+  for (index_t a = 0; a < m; ++a) {
+    auto& list = adj[static_cast<size_t>(arc_from(a))];
+    local[static_cast<size_t>(a)] = static_cast<index_t>(list.size());
+    list.push_back(a);
+  }
+  index_t cur = adj[0][0];
+  for (index_t r = 0; r < m; ++r) {
+    out.rank[static_cast<size_t>(cur)] = r;
+    const index_t u = arc_from(cur);
+    const index_t v = arc_to(cur);
+    if (out.first[static_cast<size_t>(v)] < 0 && v != 0) {
+      out.first[static_cast<size_t>(v)] = r;
+      out.parent[static_cast<size_t>(v)] = u;
+      out.depth[static_cast<size_t>(v)] =
+          out.depth[static_cast<size_t>(u)] + 1;
+    } else {
+      out.last[static_cast<size_t>(u)] = r;  // the upward arc out of u
+    }
+    // Successor: the arc after the twin, cyclically, in v's list.
+    const auto& list = adj[static_cast<size_t>(v)];
+    const index_t j = local[static_cast<size_t>(cur ^ 1)];
+    cur = list[static_cast<size_t>((j + 1) % static_cast<index_t>(
+                                                 list.size()))];
+  }
+  assert(cur == adj[0][0]);  // the circuit closes at the start arc
+  return out;
+}
+
+/// Host rootfix: out[v] = op over the root-to-v path, inclusive of both
+/// endpoints (out[root] = x[root]). Label-indexed, adjacency BFS —
+/// independent of the Euler machinery.
+template <class T, class Op>
+[[nodiscard]] std::vector<T> host_rootfix(const Tree& t,
+                                          const std::vector<T>& x, Op op) {
+  std::vector<std::vector<index_t>> adj(static_cast<size_t>(t.n));
+  for (const auto& [u, v] : t.edges) {
+    adj[static_cast<size_t>(u)].push_back(v);
+    adj[static_cast<size_t>(v)].push_back(u);
+  }
+  std::vector<T> out(static_cast<size_t>(t.n));
+  std::vector<char> seen(static_cast<size_t>(t.n), 0);
+  std::vector<index_t> queue{t.root};
+  seen[static_cast<size_t>(t.root)] = 1;
+  out[static_cast<size_t>(t.root)] = x[static_cast<size_t>(t.root)];
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const index_t v = queue[head];
+    for (const index_t w : adj[static_cast<size_t>(v)]) {
+      if (seen[static_cast<size_t>(w)]) continue;
+      seen[static_cast<size_t>(w)] = 1;
+      out[static_cast<size_t>(w)] =
+          op(out[static_cast<size_t>(v)], x[static_cast<size_t>(w)]);
+      queue.push_back(w);
+    }
+  }
+  return out;
+}
+
+/// Host leaffix: out[v] = op over v's subtree (v first, then descendants).
+/// Children are combined in discovery order, so for non-commutative
+/// operators callers should treat the combination order as unspecified;
+/// the certified properties use commutative operators.
+template <class T, class Op>
+[[nodiscard]] std::vector<T> host_leaffix(const Tree& t,
+                                          const std::vector<T>& x, Op op) {
+  std::vector<std::vector<index_t>> adj(static_cast<size_t>(t.n));
+  for (const auto& [u, v] : t.edges) {
+    adj[static_cast<size_t>(u)].push_back(v);
+    adj[static_cast<size_t>(v)].push_back(u);
+  }
+  // BFS order, then accumulate children into parents in reverse.
+  std::vector<index_t> order{t.root};
+  std::vector<index_t> parent(static_cast<size_t>(t.n), -1);
+  std::vector<char> seen(static_cast<size_t>(t.n), 0);
+  seen[static_cast<size_t>(t.root)] = 1;
+  for (size_t head = 0; head < order.size(); ++head) {
+    const index_t v = order[head];
+    for (const index_t w : adj[static_cast<size_t>(v)]) {
+      if (seen[static_cast<size_t>(w)]) continue;
+      seen[static_cast<size_t>(w)] = 1;
+      parent[static_cast<size_t>(w)] = v;
+      order.push_back(w);
+    }
+  }
+  std::vector<T> out = x;
+  for (size_t i = order.size(); i-- > 1;) {
+    const index_t v = order[i];
+    const index_t p = parent[static_cast<size_t>(v)];
+    out[static_cast<size_t>(p)] =
+        op(out[static_cast<size_t>(p)], out[static_cast<size_t>(v)]);
+  }
+  return out;
+}
+
+/// Host LCA by depth-equalizing parent walks. Label-indexed queries.
+[[nodiscard]] inline std::vector<index_t> host_lca(
+    const Tree& t, const std::vector<std::pair<index_t, index_t>>& queries) {
+  std::vector<std::vector<index_t>> adj(static_cast<size_t>(t.n));
+  for (const auto& [u, v] : t.edges) {
+    adj[static_cast<size_t>(u)].push_back(v);
+    adj[static_cast<size_t>(v)].push_back(u);
+  }
+  std::vector<index_t> parent(static_cast<size_t>(t.n), -1);
+  std::vector<index_t> depth(static_cast<size_t>(t.n), 0);
+  std::vector<char> seen(static_cast<size_t>(t.n), 0);
+  std::vector<index_t> queue{t.root};
+  seen[static_cast<size_t>(t.root)] = 1;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const index_t v = queue[head];
+    for (const index_t w : adj[static_cast<size_t>(v)]) {
+      if (seen[static_cast<size_t>(w)]) continue;
+      seen[static_cast<size_t>(w)] = 1;
+      parent[static_cast<size_t>(w)] = v;
+      depth[static_cast<size_t>(w)] = depth[static_cast<size_t>(v)] + 1;
+      queue.push_back(w);
+    }
+  }
+  std::vector<index_t> out;
+  out.reserve(queries.size());
+  for (auto [a, b] : queries) {
+    while (depth[static_cast<size_t>(a)] > depth[static_cast<size_t>(b)]) {
+      a = parent[static_cast<size_t>(a)];
+    }
+    while (depth[static_cast<size_t>(b)] > depth[static_cast<size_t>(a)]) {
+      b = parent[static_cast<size_t>(b)];
+    }
+    while (a != b) {
+      a = parent[static_cast<size_t>(a)];
+      b = parent[static_cast<size_t>(b)];
+    }
+    out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace scm::tree
